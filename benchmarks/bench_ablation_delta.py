@@ -1,0 +1,23 @@
+"""Ablation: the δ shift threshold (paper §2.5).
+
+δ=0 accepts any improving shift ("make sure a path switching will not
+decrease the global minimum BoNF"); larger δ trades performance for
+stability. Expectation: shift counts fall monotonically as δ rises, and a
+huge δ degenerates toward ECMP performance.
+"""
+
+from repro.experiments.figures import ablation_delta
+from conftest import run_once
+
+
+def test_ablation_delta(benchmark, save_output):
+    output = run_once(
+        benchmark, ablation_delta, deltas_mbps=(0.0, 10.0, 50.0), duration_s=90.0
+    )
+    save_output(output)
+    rows = sorted(output.rows, key=lambda r: r["delta_mbps"])
+    # More conservative thresholds shift less.
+    assert rows[0]["shifts_total"] >= rows[-1]["shifts_total"]
+    # The paper's default (10 Mbps) stays effective: it still shifts.
+    default = next(r for r in rows if r["delta_mbps"] == 10.0)
+    assert default["shifts_total"] > 0

@@ -1,0 +1,21 @@
+"""Ablation: the elephant detection age (paper fixes 10 s).
+
+A lower threshold lets DARD start managing flows earlier (more shifts,
+more probe traffic); a higher one leaves congestion unmanaged longer.
+"""
+
+from repro.experiments.figures import ablation_elephant_threshold
+from conftest import run_once
+
+
+def test_ablation_elephant(benchmark, save_output):
+    output = run_once(
+        benchmark, ablation_elephant_threshold, thresholds_s=(5.0, 10.0, 20.0),
+        duration_s=90.0,
+    )
+    save_output(output)
+    rows = sorted(output.rows, key=lambda r: r["elephant_age_s"])
+    # Earlier detection -> at least as much control traffic.
+    assert rows[0]["control_kb_per_s"] >= rows[-1]["control_kb_per_s"]
+    # Earlier detection never hurts transfer time materially.
+    assert rows[0]["mean_fct_s"] <= rows[-1]["mean_fct_s"] * 1.10

@@ -1,0 +1,21 @@
+"""Ablation: monitor query interval (paper §3.1 sets 1 s).
+
+Faster polling gives fresher BoNF state at proportionally higher probe
+cost; very slow polling leaves schedulers acting on stale state.
+"""
+
+from repro.experiments.figures import ablation_query_interval
+from conftest import run_once
+
+
+def test_ablation_query(benchmark, save_output):
+    output = run_once(
+        benchmark, ablation_query_interval, intervals_s=(0.5, 1.0, 5.0), duration_s=90.0
+    )
+    save_output(output)
+    rows = sorted(output.rows, key=lambda r: r["query_interval_s"])
+    # Probe traffic scales inversely with the interval.
+    assert rows[0]["control_kb_per_s"] > rows[-1]["control_kb_per_s"] * 2
+    # Performance stays in a sane band across the sweep.
+    fcts = [r["mean_fct_s"] for r in rows]
+    assert max(fcts) / min(fcts) < 1.5

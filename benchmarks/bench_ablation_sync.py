@@ -1,0 +1,20 @@
+"""Ablation: randomized vs synchronized scheduling intervals (paper §4.2).
+
+The paper attributes DARD's low path oscillation to the random [1 s, 5 s]
+added to every host's 5 s scheduling interval. Removing it makes all hosts
+react simultaneously to the same stale path states, so flows herd between
+paths: more switches for no benefit.
+"""
+
+from repro.experiments.figures import ablation_synchronization
+from conftest import run_once
+
+
+def test_ablation_sync(benchmark, save_output):
+    output = run_once(benchmark, ablation_synchronization, duration_s=120.0)
+    save_output(output)
+    rows = {row["mode"]: row for row in output.rows}
+    # Synchronized hosts shift at least as often (usually more).
+    assert rows["synchronized"]["shifts_total"] >= rows["randomized"]["shifts_total"]
+    # And randomization does not cost transfer time.
+    assert rows["randomized"]["mean_fct_s"] <= rows["synchronized"]["mean_fct_s"] * 1.10

@@ -1,0 +1,19 @@
+"""Extension: Hedera's two centralized algorithms vs DARD.
+
+Global First Fit is greedier but deterministic; Simulated Annealing
+searches globally but at per-destination granularity. Expected: both beat
+ECMP under stride, and DARD stays competitive with the better of the two.
+"""
+
+from repro.experiments.figures import ext_centralized_variants
+from conftest import run_once
+
+
+def test_ext_centralized(benchmark, save_output):
+    output = run_once(benchmark, ext_centralized_variants, duration_s=90.0)
+    save_output(output)
+    stride = next(row for row in output.rows if row["pattern"] == "stride")
+    assert stride["hedera_s"] < stride["ecmp_s"]
+    assert stride["gff_s"] < stride["ecmp_s"]
+    best_centralized = min(stride["hedera_s"], stride["gff_s"])
+    assert stride["dard_s"] <= best_centralized * 1.15

@@ -1,0 +1,21 @@
+"""Extension: TeXCP at flowlet granularity (the paper's future work).
+
+Paper §4.3.3 hypothesizes that 'scheduling traffic in granularity of a
+flowlet (TCP packet burst) would reduce TeXCP's retransmission rate'.
+Expected: flowlet mode drops the retransmission rate to ~zero and recovers
+the goodput that packet mode loses to reordering.
+"""
+
+from repro.experiments.figures import ext_flowlet_texcp
+from conftest import run_once
+
+
+def test_ext_flowlet(benchmark, save_output):
+    output = run_once(benchmark, ext_flowlet_texcp, duration_s=90.0)
+    save_output(output)
+    rows = {row["scheduler"]: row for row in output.rows}
+    # The hypothesis holds: flowlets eliminate reordering retransmission...
+    assert rows["texcp-flowlet"]["mean_retx_rate"] < 0.01
+    assert rows["texcp"]["mean_retx_rate"] > 0.05
+    # ...and recover the goodput packet-granularity loses.
+    assert rows["texcp-flowlet"]["mean_fct_s"] < rows["texcp"]["mean_fct_s"]

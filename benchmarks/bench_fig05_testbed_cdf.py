@@ -1,0 +1,21 @@
+"""Figure 5: file-transfer-time CDF on the testbed, stride traffic.
+
+Paper shape: DARD improves the average by improving fairness — its curve
+is steeper, with both tails pulled toward the mean; ECMP and pVLB are
+close to each other.
+"""
+
+from repro.experiments.figures import fig5_testbed_cdf
+from conftest import run_once
+
+
+def test_fig5_testbed_cdf(benchmark, save_output):
+    output = run_once(benchmark, fig5_testbed_cdf, duration_s=90.0)
+    save_output(output)
+    stats = {row["scheduler"]: row for row in output.rows}
+    # DARD's mean beats ECMP's.
+    assert stats["dard"]["mean_s"] < stats["ecmp"]["mean_s"]
+    # Fairness: DARD's worst-case flow is no worse than ECMP's.
+    assert stats["dard"]["max_s"] <= stats["ecmp"]["max_s"] * 1.05
+    # Full CDFs are carried for plotting.
+    assert all(len(points) > 10 for points in output.series.values())

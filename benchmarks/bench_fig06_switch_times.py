@@ -1,0 +1,25 @@
+"""Figure 6: CDF of DARD path-switch counts on the testbed.
+
+Paper shape: staggered flows almost all stick to their first path; stride
+flows switch a handful of times at most; the maximum stays below the
+number of available paths (4 on p=4); average ~0.9 under stride.
+"""
+
+from repro.experiments.figures import fig6_path_switches
+from conftest import run_once
+
+
+def test_fig6_path_switches(benchmark, save_output):
+    output = run_once(benchmark, fig6_path_switches, duration_s=90.0)
+    save_output(output)
+    rows = {row["pattern"]: row for row in output.rows}
+    assert set(rows) == {"random", "staggered", "stride"}
+    # Staggered: ~90% never switch in the paper; accept >= 70%.
+    assert rows["staggered"]["never_switched"] >= 0.7
+    # Stride: bounded oscillation, far below the 4 available paths.
+    assert rows["stride"]["p90"] <= 3
+    assert rows["stride"]["max"] <= 6
+    # Random sits between staggered and stride.
+    assert (
+        rows["staggered"]["mean"] <= rows["random"]["mean"] + 0.2
+    )

@@ -1,0 +1,25 @@
+"""Figure 7: FCT CDFs on the (scaled) large fat-tree, all four schedulers.
+
+Paper shape (p=32, here p=8): under stride both DARD and the centralized
+simulated annealing beat ECMP/pVLB and sit within ~10% of each other;
+under staggered DARD wins outright; random lies in between.
+"""
+
+from repro.experiments.figures import fig7_fattree_cdf
+from conftest import run_once
+
+
+def test_fig7_fattree_cdf(benchmark, save_output):
+    output = run_once(benchmark, fig7_fattree_cdf, duration_s=60.0)
+    save_output(output)
+    mean = {
+        (row["pattern"], row["scheduler"]): row["mean_fct_s"] for row in output.rows
+    }
+    # Stride: adaptive schedulers beat random flow-level scheduling.
+    assert mean[("stride", "dard")] < mean[("stride", "ecmp")]
+    assert mean[("stride", "hedera")] < mean[("stride", "ecmp")]
+    # ... and are within 15% of each other.
+    gap = abs(mean[("stride", "dard")] - mean[("stride", "hedera")])
+    assert gap / mean[("stride", "hedera")] < 0.15
+    # Staggered: DARD at least matches the centralized scheduler.
+    assert mean[("staggered", "dard")] <= mean[("staggered", "hedera")] * 1.05

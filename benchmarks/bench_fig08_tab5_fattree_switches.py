@@ -1,0 +1,22 @@
+"""Figure 8 + Table 5: DARD path-switch stability on fat-trees.
+
+Paper shape: 90th percentiles of 1-5 switches, maxima far below the number
+of available paths (a flow finishes long before exploring all of them), and
+staggered traffic flows mostly never switching.
+"""
+
+from repro.experiments.figures import fig8_tab5_fattree_switches
+from conftest import run_once
+
+
+def test_fig8_tab5_fattree_switches(benchmark, save_output):
+    output = run_once(benchmark, fig8_tab5_fattree_switches, duration_s=60.0)
+    save_output(output)
+    for row in output.rows:
+        # Stability: the 90th percentile is a handful of switches.
+        assert row["p90"] <= 5, row
+        # Max far below available paths (4 on p=4, 16 on p=8).
+        available = 4 if row["size"] == "p=4" else 16
+        assert row["max"] < available, row
+    staggered = [r for r in output.rows if r["pattern"] == "staggered"]
+    assert all(r["never_switched"] >= 0.6 for r in staggered)

@@ -1,0 +1,22 @@
+"""Figure 9: FCT CDFs on the Clos network, all four schedulers.
+
+Paper shape (D=16, here D=8): under stride DARD improves transfer time
+considerably over ECMP with the centralized scheduler within ~10%; under
+staggered DARD still explores path diversity and improves.
+"""
+
+from repro.experiments.figures import fig9_clos_cdf
+from conftest import run_once
+
+
+def test_fig9_clos_cdf(benchmark, save_output):
+    output = run_once(benchmark, fig9_clos_cdf, duration_s=60.0)
+    save_output(output)
+    mean = {
+        (row["pattern"], row["scheduler"]): row["mean_fct_s"] for row in output.rows
+    }
+    assert mean[("stride", "dard")] < mean[("stride", "ecmp")]
+    assert mean[("stride", "dard")] <= mean[("stride", "hedera")] * 1.15
+    # DARD never trails ECMP materially on any pattern.
+    for pattern in ("random", "staggered", "stride"):
+        assert mean[(pattern, "dard")] <= mean[(pattern, "ecmp")] * 1.05

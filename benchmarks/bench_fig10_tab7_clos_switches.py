@@ -1,0 +1,17 @@
+"""Figure 10 + Table 7: DARD path-switch stability on Clos networks.
+
+Paper shape: maxima well below the 2*D_A available paths; little path
+oscillation on Clos just as on fat-trees.
+"""
+
+from repro.experiments.figures import fig10_tab7_clos_switches
+from conftest import run_once
+
+
+def test_fig10_tab7_clos_switches(benchmark, save_output):
+    output = run_once(benchmark, fig10_tab7_clos_switches, duration_s=60.0)
+    save_output(output)
+    for row in output.rows:
+        available = 8 if row["size"] == "D=4" else 16  # 2 * D_A
+        assert row["max"] < available, row
+        assert row["p90"] <= 5, row

@@ -1,0 +1,20 @@
+"""Figure 11: FCT CDFs on the oversubscribed 8-core 3-tier topology.
+
+Paper shape: with oversubscription > 1 the bottlenecks move into the tree;
+under staggered traffic DARD beats even the centralized scheduler, and
+under stride it beats random flow-level scheduling with a small gap to
+centralized.
+"""
+
+from repro.experiments.figures import fig11_threetier_cdf
+from conftest import run_once
+
+
+def test_fig11_threetier_cdf(benchmark, save_output):
+    output = run_once(benchmark, fig11_threetier_cdf, duration_s=60.0)
+    save_output(output)
+    mean = {
+        (row["pattern"], row["scheduler"]): row["mean_fct_s"] for row in output.rows
+    }
+    assert mean[("stride", "dard")] < mean[("stride", "ecmp")]
+    assert mean[("staggered", "dard")] <= mean[("staggered", "hedera")] * 1.05

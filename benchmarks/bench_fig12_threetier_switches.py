@@ -1,0 +1,16 @@
+"""Figure 12: DARD path-switch counts on the 3-tier topology.
+
+Paper shape: '90% of the flows shift their paths no more than twice' even
+with oversubscription larger than 1.
+"""
+
+from repro.experiments.figures import fig12_threetier_switches
+from conftest import run_once
+
+
+def test_fig12_threetier_switches(benchmark, save_output):
+    output = run_once(benchmark, fig12_threetier_switches, duration_s=60.0)
+    save_output(output)
+    for row in output.rows:
+        assert row["p90"] <= 3, row
+        assert row["max"] < 32, row  # far below the 32 available paths

@@ -1,0 +1,22 @@
+"""Figures 13-14: DARD vs TeXCP — transfer time and retransmission rate.
+
+Paper shape: bisection bandwidth use is comparable, but TeXCP's
+packet-level striping reorders packets into retransmissions (a CDF
+spanning roughly 0-50%), so DARD's goodput — and FCT — come out slightly
+ahead while DARD's own retransmission rate stays near zero.
+"""
+
+from repro.experiments.figures import fig13_fig14_texcp
+from conftest import run_once
+
+
+def test_fig13_fig14_texcp(benchmark, save_output):
+    output = run_once(benchmark, fig13_fig14_texcp, duration_s=90.0)
+    save_output(output)
+    rows = {row["scheduler"]: row for row in output.rows}
+    # DARD slightly ahead on transfer time.
+    assert rows["dard"]["mean_fct_s"] <= rows["texcp"]["mean_fct_s"] * 1.05
+    # TeXCP retransmits materially; DARD does not.
+    assert rows["texcp"]["mean_retx_rate"] > rows["dard"]["mean_retx_rate"] * 5
+    assert rows["texcp"]["max_retx_rate"] <= 0.5 + 1e-9
+    assert rows["dard"]["mean_retx_rate"] < 0.02

@@ -1,0 +1,35 @@
+"""Figure 15: control-plane bandwidth vs peak number of elephant flows.
+
+Paper shape: at light load DARD's probe traffic can undercut the
+centralized scheduler's reports (smaller messages); as load grows DARD's
+probing rises with the number of communicating pairs but is *bounded by
+topology size* (all-pairs probing), while centralized report traffic is
+proportional to flow count.
+"""
+
+from repro.experiments.figures import fig15_overhead
+from conftest import run_once
+
+
+def test_fig15_overhead(benchmark, save_output):
+    output = run_once(
+        benchmark, fig15_overhead, rates=(0.01, 0.03, 0.06), duration_s=60.0
+    )
+    save_output(output)
+    dard = sorted(
+        (r for r in output.rows if r["scheduler"] == "dard"),
+        key=lambda r: r["rate_per_host"],
+    )
+    hedera = sorted(
+        (r for r in output.rows if r["scheduler"] == "hedera"),
+        key=lambda r: r["rate_per_host"],
+    )
+    # Both overheads grow with load...
+    assert dard[-1]["control_kb_per_s"] > dard[0]["control_kb_per_s"]
+    assert hedera[-1]["control_kb_per_s"] > hedera[0]["control_kb_per_s"]
+    # ...but DARD's stays below the all-pairs probing ceiling:
+    # 128 hosts x 31 other ToRs x 21 switches x 80 B at 1 query/s.
+    ceiling_kb = 128 * 31 * 21 * 80 / 1e3
+    assert dard[-1]["control_kb_per_s"] < ceiling_kb
+    # Peak elephant counts grew with the arrival rate (the x-axis).
+    assert dard[-1]["peak_elephants"] > dard[0]["peak_elephants"]

@@ -1,0 +1,20 @@
+"""Table 4: average file transfer time on fat-trees, all schedulers.
+
+Paper shape: DARD < ECMP ~= pVLB everywhere it matters; DARD within a few
+percent of (or better than) the centralized simulated annealing — on the
+small fat-tree DARD even wins outright.
+"""
+
+from repro.experiments.figures import tab4_fattree_fct
+from conftest import run_once
+
+
+def test_tab4_fattree_fct(benchmark, save_output):
+    output = run_once(benchmark, tab4_fattree_fct, duration_s=60.0)
+    save_output(output)
+    for row in output.rows:
+        if row["pattern"] == "stride":
+            assert row["dard_s"] < row["ecmp_s"], row
+            assert row["dard_s"] <= row["hedera_s"] * 1.15, row
+        # pVLB tracks ECMP within a generous band on every pattern.
+        assert abs(row["vlb_s"] - row["ecmp_s"]) / row["ecmp_s"] < 0.35, row

@@ -1,0 +1,18 @@
+"""Table 6: average file transfer time on Clos networks, all schedulers.
+
+Paper shape: same pattern as Table 4 — DARD improves markedly under
+stride, still helps under staggered, and stays close to the centralized
+scheduler throughout.
+"""
+
+from repro.experiments.figures import tab6_clos_fct
+from conftest import run_once
+
+
+def test_tab6_clos_fct(benchmark, save_output):
+    output = run_once(benchmark, tab6_clos_fct, duration_s=60.0)
+    save_output(output)
+    for row in output.rows:
+        if row["pattern"] == "stride":
+            assert row["dard_s"] < row["ecmp_s"], row
+        assert row["dard_s"] <= row["ecmp_s"] * 1.05, row

@@ -1,0 +1,25 @@
+"""Appendix B, quantified: steps-to-Nash and price of anarchy.
+
+The paper proves convergence in finitely many steps and argues the gap to
+optimal 'is likely to be small in practice'. Expected: steps grow roughly
+linearly with the number of flows (each flow needs only a few moves), and
+the Nash/optimum min-BoNF ratio stays near 1 on brute-forceable games.
+"""
+
+from repro.experiments.figures import theory_convergence
+from conftest import run_once
+
+
+def test_theory_convergence(benchmark, save_output):
+    output = run_once(benchmark, theory_convergence, trials=15)
+    save_output(output)
+    rows = {row["flows"]: row for row in output.rows}
+    # Finite, modest convergence: well under one move per flow per round.
+    for flows, row in rows.items():
+        assert row["max_steps"] <= 4 * flows, row
+    # The paper's "gap is small in practice": PoA >= 0.5 everywhere
+    # brute-forced, and the mean is near-optimal.
+    for row in rows.values():
+        if row["mean_poa"] != "-":
+            assert row["mean_poa"] >= 0.9
+            assert row["worst_poa"] >= 0.5

@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures by calling
+the corresponding function in :mod:`repro.experiments.figures`. Each run is
+timed by pytest-benchmark (single round — these are full simulations, not
+microbenchmarks) and the rendered rows/series are saved to
+``benchmarks/results/<experiment>.txt`` so the reproduced artifacts persist
+after the run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_output():
+    """Persist an ExperimentOutput and echo it to the terminal."""
+
+    def _save(output):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{output.experiment_id}.txt"
+        path.write_text(output.render() + "\n")
+        print()
+        print(output.render())
+        return output
+
+    return _save
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run one experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""DARD: Distributed Adaptive Routing for Datacenter Networks — reproduction.
+
+Public API tour:
+
+>>> from repro import FatTree, Network, DardScheduler, run_scenario
+>>> from repro.experiments import ScenarioConfig
+>>> result = run_scenario(ScenarioConfig(
+...     topology="fattree", topology_params={"p": 4},
+...     pattern="stride", scheduler="dard",
+...     arrival_rate_per_host=0.05, duration_s=60.0,
+...     flow_size_bytes=128_000_000))
+>>> result.mean_fct  # doctest: +SKIP
+
+Subpackages:
+
+* :mod:`repro.topology` — fat-tree / Clos / 3-tier topologies;
+* :mod:`repro.addressing` — NIRA-style hierarchical addressing and the
+  path <-> address-pair codec;
+* :mod:`repro.switches` — static downhill/uphill LPM tables and forwarding;
+* :mod:`repro.simulator` — flow-level max-min-fair discrete-event simulator;
+* :mod:`repro.workloads` — random / staggered / stride traffic;
+* :mod:`repro.baselines` — ECMP, periodic VLB, Hedera, TeXCP;
+* :mod:`repro.core` — DARD itself (detector, monitors, selfish scheduler);
+* :mod:`repro.gametheory` — the congestion-game model and theorem checks;
+* :mod:`repro.experiments` — the per-figure/table reproduction harness.
+"""
+
+from repro.addressing import HierarchicalAddressing, IdMapper, PathCodec, Prefix
+from repro.baselines import (
+    EcmpScheduler,
+    HederaScheduler,
+    PeriodicVlbScheduler,
+    TexcpScheduler,
+)
+from repro.common import RngStreams
+from repro.core import DardScheduler
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.gametheory import CongestionGame, GameFlow
+from repro.scheduling import Scheduler, SchedulerContext
+from repro.simulator import EventEngine, Flow, FlowComponent, Network
+from repro.switches import SwitchFabric
+from repro.topology import ClosNetwork, FatTree, ThreeTier, build_topology
+from repro.workloads import ArrivalProcess, WorkloadSpec, make_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosNetwork",
+    "CongestionGame",
+    "DardScheduler",
+    "EcmpScheduler",
+    "EventEngine",
+    "FatTree",
+    "Flow",
+    "FlowComponent",
+    "GameFlow",
+    "HederaScheduler",
+    "HierarchicalAddressing",
+    "IdMapper",
+    "Network",
+    "PathCodec",
+    "PeriodicVlbScheduler",
+    "Prefix",
+    "RngStreams",
+    "ScenarioConfig",
+    "Scheduler",
+    "SchedulerContext",
+    "SwitchFabric",
+    "TexcpScheduler",
+    "ThreeTier",
+    "WorkloadSpec",
+    "build_topology",
+    "make_pattern",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Path <-> (source address, destination address) codec (paper §2.3).
+
+Encoding: pick the source host's address on the chain climbing the path's
+uphill segment and the destination host's address on the chain descending
+the downhill segment — both under the path's core. Decoding mirrors the
+switches' downhill-then-uphill lookup logic; the switch fabric in
+:mod:`repro.switches` independently re-derives the same path hop by hop,
+which the test suite uses to cross-validate this codec.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import AddressingError, RoutingError
+from repro.topology.multirooted import MultiRootedTopology, SwitchPath
+from repro.addressing.hierarchy import HierarchicalAddressing
+
+
+class PathCodec:
+    """Encode a chosen path into an address pair, and back."""
+
+    def __init__(self, addressing: HierarchicalAddressing) -> None:
+        self.addressing = addressing
+        self.topology: MultiRootedTopology = addressing.topology
+
+    def encode(self, src_host: str, dst_host: str, path: SwitchPath) -> Tuple[int, int]:
+        """Address pair that makes the static tables forward along ``path``.
+
+        ``path`` is a ToR-to-ToR switch path as produced by
+        :meth:`MultiRootedTopology.equal_cost_paths`.
+        """
+        topo = self.topology
+        src_tor = topo.tor_of(src_host)
+        dst_tor = topo.tor_of(dst_host)
+        if not path or path[0] != src_tor or path[-1] != dst_tor:
+            raise AddressingError(
+                f"path {path!r} does not connect {src_host!r} (ToR {src_tor!r}) "
+                f"to {dst_host!r} (ToR {dst_tor!r})"
+            )
+        if len(path) == 1:
+            chain = topo.chains_to_tor(src_tor)[0]
+            dst_chain = topo.chains_to_tor(dst_tor)[0]
+            return (
+                self.addressing.address_of(src_host, chain),
+                self.addressing.address_of(dst_host, dst_chain),
+            )
+        if len(path) == 3:
+            tor_s, agg, tor_d = path
+            cores_above = sorted(topo.up_neighbors(agg))
+            if not cores_above:
+                raise AddressingError(f"aggregation switch {agg!r} has no core above it")
+            core = cores_above[0]
+            src_chain = (core, agg, tor_s)
+            dst_chain = (core, agg, tor_d)
+        elif len(path) == 5:
+            tor_s, agg_up, core, agg_down, tor_d = path
+            src_chain = (core, agg_up, tor_s)
+            dst_chain = (core, agg_down, tor_d)
+        else:
+            raise AddressingError(f"unsupported path length {len(path)}: {path!r}")
+        return (
+            self.addressing.address_of(src_host, src_chain),
+            self.addressing.address_of(dst_host, dst_chain),
+        )
+
+    def decode(self, src_addr: int, dst_addr: int) -> SwitchPath:
+        """The switch path an address pair routes along.
+
+        Mirrors the forwarding rule: at each switch the destination address
+        is tried in the downhill table first; otherwise the source address
+        climbs the uphill table. Raises :class:`RoutingError` for address
+        pairs drawn from different cores' trees (no valid turning point).
+        """
+        src_host, (src_core, src_agg, src_tor) = self.addressing.owner_of(src_addr)
+        dst_host, (dst_core, dst_agg, dst_tor) = self.addressing.owner_of(dst_addr)
+        if src_host == dst_host:
+            raise RoutingError(f"source and destination are the same host {src_host!r}")
+        if src_tor == dst_tor:
+            return (src_tor,)
+        if src_agg == dst_agg:
+            return (src_tor, src_agg, dst_tor)
+        if src_core != dst_core:
+            raise RoutingError(
+                f"address pair spans different trees ({src_core!r} vs {dst_core!r}); "
+                "no switch can turn the packet downhill"
+            )
+        return (src_tor, src_agg, src_core, dst_agg, dst_tor)
+
+    def endpoints(self, src_addr: int, dst_addr: int) -> Tuple[str, str]:
+        """The (source host, destination host) an address pair connects."""
+        src_host, _ = self.addressing.owner_of(src_addr)
+        dst_host, _ = self.addressing.owner_of(dst_addr)
+        return src_host, dst_host

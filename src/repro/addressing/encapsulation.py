@@ -1,0 +1,104 @@
+"""IP-in-IP encapsulation: the host data path (paper §2.3, §3.1).
+
+Applications open connections between location-independent **IDs**; they
+never see locators. The encapsulation module on the source host resolves
+the destination ID through the DNS-like :class:`IdMapper`, wraps each
+packet with the (source locator, destination locator) pair encoding the
+flow's *current* path, and the destination host unwraps it before handing
+it to upper layers. Shifting a flow to a different path is a pure
+re-encapsulation — the inner packet, and hence the application, never
+notices (the paper uses Linux IP-in-IP tunneling for exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.errors import AddressingError, RoutingError
+from repro.topology.multirooted import SwitchPath
+from repro.addressing.codec import PathCodec
+from repro.addressing.idmap import IdMapper
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An application-level packet, addressed by IDs."""
+
+    src_id: int
+    dst_id: int
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class EncapsulatedPacket:
+    """A packet wrapped with the locator pair that pins its path."""
+
+    outer_src: int
+    outer_dst: int
+    inner: Packet
+
+
+class EncapsulationModule:
+    """Per-host encapsulation/decapsulation, path table included.
+
+    One instance runs on every host. It keeps the host's current
+    path choice per destination (what the DARD daemon updates when it
+    shifts a flow) and translates between the application's ID world and
+    the fabric's locator world.
+    """
+
+    def __init__(self, host: str, codec: PathCodec, id_mapper: IdMapper) -> None:
+        self.host = host
+        self.codec = codec
+        self.id_mapper = id_mapper
+        self.my_id = id_mapper.id_of(host)
+        #: destination host -> chosen switch path (set by the scheduler).
+        self._path_choice: Dict[str, SwitchPath] = {}
+
+    # -- control plane: the DARD daemon sets paths here --------------------------
+
+    def set_path(self, dst_host: str, path: SwitchPath) -> Tuple[int, int]:
+        """Pin the path used toward ``dst_host``; returns the locator pair.
+
+        Raises :class:`AddressingError` if the path cannot be encoded from
+        this host (wrong ToRs, unknown hosts).
+        """
+        pair = self.codec.encode(self.host, dst_host, path)
+        self._path_choice[dst_host] = tuple(path)
+        return pair
+
+    def current_path(self, dst_host: str) -> SwitchPath:
+        """The switch path currently pinned toward ``dst_host``."""
+        try:
+            return self._path_choice[dst_host]
+        except KeyError:
+            raise AddressingError(
+                f"no path pinned from {self.host!r} to {dst_host!r}"
+            ) from None
+
+    # -- data plane ----------------------------------------------------------------
+
+    def encapsulate(self, packet: Packet) -> EncapsulatedPacket:
+        """Wrap an outgoing packet with the current locator pair."""
+        if packet.src_id != self.my_id:
+            raise AddressingError(
+                f"host {self.host!r} cannot send packets with source ID {packet.src_id}"
+            )
+        dst_host = self.id_mapper.host_of(packet.dst_id)
+        path = self.current_path(dst_host)
+        outer_src, outer_dst = self.codec.encode(self.host, dst_host, path)
+        return EncapsulatedPacket(outer_src=outer_src, outer_dst=outer_dst, inner=packet)
+
+    def decapsulate(self, wrapped: EncapsulatedPacket) -> Packet:
+        """Unwrap an arriving packet, checking it was really for us."""
+        owner, _ = self.codec.addressing.owner_of(wrapped.outer_dst)
+        if owner != self.host:
+            raise RoutingError(
+                f"packet for {owner!r} arrived at {self.host!r}: misdelivery"
+            )
+        if self.id_mapper.host_of(wrapped.inner.dst_id) != self.host:
+            raise RoutingError(
+                f"inner destination ID {wrapped.inner.dst_id} is not {self.host!r}"
+            )
+        return wrapped.inner

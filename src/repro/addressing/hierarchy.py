@@ -1,0 +1,144 @@
+"""Hierarchical prefix allocation over a multi-rooted tree (paper §2.3).
+
+The allocator walks every downhill chain ``(core, agg, tor)`` of the
+topology and subdivides the base prefix level by level:
+
+* core ``i`` gets subdivision ``i`` of the base prefix;
+* within core ``i``'s tree, the aggregation switch reached through core
+  port ``j`` gets subdivision ``j``;
+* within that, the ToR reached through aggregation port ``k`` gets
+  subdivision ``k``;
+* hosts get consecutive full addresses inside the chain prefix.
+
+The paper fixes 6 bits per level (supporting p <= 16 fat-trees under
+``10.0.0.0/8``); we default to 6 bits but auto-widen per level when the
+topology needs more branches, raising :class:`AddressingError` if 24 bits
+cannot accommodate the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import AddressingError
+from repro.topology.multirooted import Chain, MultiRootedTopology
+from repro.addressing.prefix import Prefix
+
+
+def _bits_needed(count: int, minimum: int) -> int:
+    bits = minimum
+    while (1 << bits) < count:
+        bits += 1
+    return bits
+
+
+class HierarchicalAddressing:
+    """Prefix allocation and host multi-address assignment for a topology."""
+
+    def __init__(
+        self,
+        topology: MultiRootedTopology,
+        base: Prefix = None,
+        bits_per_level: int = 6,
+    ) -> None:
+        self.topology = topology
+        self.base = base if base is not None else Prefix.parse("10.0.0.0/8")
+        cores = sorted(topology.cores())
+        max_aggs = max(len(topology.down_neighbors(c)) for c in cores)
+        max_tors = max(len(topology.down_neighbors(a)) for a in topology.aggs())
+        max_hosts = max(len(topology.hosts_of_tor(t)) for t in topology.tors())
+        self.core_bits = _bits_needed(len(cores), bits_per_level)
+        self.agg_bits = _bits_needed(max_aggs, bits_per_level)
+        self.tor_bits = _bits_needed(max_tors, bits_per_level)
+        host_bits = 32 - self.base.length - self.core_bits - self.agg_bits - self.tor_bits
+        if host_bits < 1 or (1 << host_bits) < max_hosts:
+            raise AddressingError(
+                "address space exhausted: "
+                f"base /{self.base.length} + {self.core_bits}+{self.agg_bits}+{self.tor_bits} "
+                f"level bits leave {host_bits} host bits for {max_hosts} hosts per ToR"
+            )
+        self.host_bits = host_bits
+        self._core_prefix: Dict[str, Prefix] = {}
+        self._agg_prefix: Dict[Tuple[str, str], Prefix] = {}
+        self._chain_prefix: Dict[Chain, Prefix] = {}
+        self._host_addresses: Dict[str, Dict[Chain, int]] = {}
+        self._address_owner: Dict[int, Tuple[str, Chain]] = {}
+        self._allocate()
+
+    # -- allocation ------------------------------------------------------------
+
+    def _allocate(self) -> None:
+        topo = self.topology
+        for core_index, core in enumerate(sorted(topo.cores())):
+            core_pfx = self.base.subdivide(core_index, self.core_bits)
+            self._core_prefix[core] = core_pfx
+            for agg_port, agg in enumerate(sorted(topo.down_neighbors(core))):
+                agg_pfx = core_pfx.subdivide(agg_port, self.agg_bits)
+                self._agg_prefix[(core, agg)] = agg_pfx
+                for tor_port, tor in enumerate(sorted(topo.down_neighbors(agg))):
+                    chain = (core, agg, tor)
+                    chain_pfx = agg_pfx.subdivide(tor_port, self.tor_bits)
+                    self._chain_prefix[chain] = chain_pfx
+                    for host_index, host in enumerate(sorted(topo.hosts_of_tor(tor))):
+                        addr = chain_pfx.address(host_index)
+                        self._host_addresses.setdefault(host, {})[chain] = addr
+                        self._address_owner[addr] = (host, chain)
+
+    # -- queries ---------------------------------------------------------------
+
+    def core_prefix(self, core: str) -> Prefix:
+        """The prefix owned by a core switch (root of one tree)."""
+        try:
+            return self._core_prefix[core]
+        except KeyError:
+            raise AddressingError(f"{core!r} is not a core switch") from None
+
+    def agg_prefix(self, core: str, agg: str) -> Prefix:
+        """The prefix core ``core`` allocated to aggregation switch ``agg``."""
+        try:
+            return self._agg_prefix[(core, agg)]
+        except KeyError:
+            raise AddressingError(f"no allocation from {core!r} to {agg!r}") from None
+
+    def chain_prefix(self, chain: Chain) -> Prefix:
+        """The ToR-level prefix of a downhill chain (core, agg, tor)."""
+        try:
+            return self._chain_prefix[chain]
+        except KeyError:
+            raise AddressingError(f"no such downhill chain {chain!r}") from None
+
+    def addresses_of(self, host: str) -> Dict[Chain, int]:
+        """All addresses of ``host``, keyed by the chain that allocated them."""
+        try:
+            return dict(self._host_addresses[host])
+        except KeyError:
+            raise AddressingError(f"{host!r} is not an addressed host") from None
+
+    def address_of(self, host: str, chain: Chain) -> int:
+        """The host's address on one specific downhill chain."""
+        addresses = self.addresses_of(host)
+        try:
+            return addresses[chain]
+        except KeyError:
+            raise AddressingError(f"host {host!r} has no address on chain {chain!r}") from None
+
+    def owner_of(self, addr: int) -> Tuple[str, Chain]:
+        """Reverse lookup: which (host, chain) does an address belong to."""
+        try:
+            return self._address_owner[addr]
+        except KeyError:
+            raise AddressingError(f"unallocated address {addr}") from None
+
+    def num_addresses_per_host(self, host: str) -> int:
+        """How many locator addresses the host holds (one per chain)."""
+        return len(self._host_addresses[host])
+
+    def all_chains(self) -> List[Chain]:
+        """Every downhill chain that received a prefix."""
+        return list(self._chain_prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchicalAddressing(base={self.base}, "
+            f"bits=({self.core_bits},{self.agg_bits},{self.tor_bits},{self.host_bits}))"
+        )

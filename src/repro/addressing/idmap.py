@@ -1,0 +1,54 @@
+"""Location-independent host IDs (paper §2.3).
+
+Besides its many locator addresses, each network component carries one
+location-independent IP, its *ID*, used by applications to open TCP
+connections. The mapping from IDs to underlying locator addresses is kept
+by a DNS-like system and cached at every host; here the mapper is that
+system. IDs are drawn from ``192.168.0.0/16`` by default so they can never
+collide with the ``10.0.0.0/8`` locator space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import AddressingError
+from repro.addressing.prefix import Prefix
+
+
+class IdMapper:
+    """Bidirectional host-name <-> ID-address mapping."""
+
+    def __init__(self, hosts: List[str], id_space: Prefix = None) -> None:
+        self.id_space = id_space if id_space is not None else Prefix.parse("192.168.0.0/16")
+        span = 1 << (32 - self.id_space.length)
+        if len(hosts) > span:
+            raise AddressingError(
+                f"{len(hosts)} hosts do not fit in ID space {self.id_space}"
+            )
+        self._id_of: Dict[str, int] = {}
+        self._host_of: Dict[int, str] = {}
+        for index, host in enumerate(sorted(hosts)):
+            addr = self.id_space.address(index)
+            self._id_of[host] = addr
+            self._host_of[addr] = host
+
+    def id_of(self, host: str) -> int:
+        """The location-independent ID address of a host."""
+        try:
+            return self._id_of[host]
+        except KeyError:
+            raise AddressingError(f"no ID registered for host {host!r}") from None
+
+    def host_of(self, id_addr: int) -> str:
+        """Resolve an ID back to a host name (the DNS-like lookup)."""
+        try:
+            return self._host_of[id_addr]
+        except KeyError:
+            raise AddressingError(f"no host registered under ID {id_addr}") from None
+
+    def __len__(self) -> int:
+        return len(self._id_of)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._id_of

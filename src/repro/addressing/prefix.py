@@ -1,0 +1,133 @@
+"""IPv4 prefixes and addresses.
+
+Addresses are plain 32-bit integers; :class:`Prefix` is an immutable
+value/length pair with subdivision (the allocation primitive of §2.3) and
+containment tests. The paper's decimal-group notation — every 6 bits of the
+last 24 bits rendered in decimal, e.g. ``(1, 1, 1, 2)`` — is available via
+:meth:`Prefix.decimal_groups` for the Table 2/3 demos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import AddressingError
+
+_MAX_LEN = 32
+
+
+def _mask(length: int) -> int:
+    return ((1 << length) - 1) << (_MAX_LEN - length) if length else 0
+
+
+def format_address(addr: int) -> str:
+    """Render a 32-bit address in dotted-quad notation."""
+    if not 0 <= addr < (1 << 32):
+        raise AddressingError(f"address out of range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_address(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressingError(f"malformed address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise AddressingError(f"malformed address {text!r}") from None
+        if not 0 <= octet <= 255:
+            raise AddressingError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix ``value/length`` with host bits forced to zero."""
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= _MAX_LEN:
+            raise AddressingError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.value < (1 << 32):
+            raise AddressingError(f"prefix value out of range: {self.value}")
+        if self.value & ~_mask(self.length):
+            raise AddressingError(
+                f"prefix {format_address(self.value)}/{self.length} has non-zero host bits"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.0.0.0/8"`` notation."""
+        try:
+            addr_text, len_text = text.split("/")
+            length = int(len_text)
+        except ValueError:
+            raise AddressingError(f"malformed prefix {text!r}") from None
+        return cls(parse_address(addr_text), length)
+
+    def subdivide(self, index: int, child_bits: int) -> "Prefix":
+        """The ``index``-th child prefix when extending by ``child_bits`` bits.
+
+        This is the §2.3 allocation step: a switch at one hierarchy level
+        hands subdivision ``index`` of its own prefix to its ``index``-th
+        downstream branch.
+        """
+        if child_bits < 1:
+            raise AddressingError(f"child_bits must be >= 1, got {child_bits}")
+        new_length = self.length + child_bits
+        if new_length > _MAX_LEN:
+            raise AddressingError(
+                f"cannot extend /{self.length} by {child_bits} bits beyond /32"
+            )
+        if not 0 <= index < (1 << child_bits):
+            raise AddressingError(
+                f"subdivision index {index} does not fit in {child_bits} bits"
+            )
+        child_value = self.value | (index << (_MAX_LEN - new_length))
+        return Prefix(child_value, new_length)
+
+    def contains_address(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this prefix."""
+        return (addr & _mask(self.length)) == self.value
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Whether ``other`` is equal to or nested inside this prefix."""
+        return other.length >= self.length and self.contains_address(other.value)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Whether the two prefixes share any address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+    def address(self, host_index: int) -> int:
+        """The ``host_index``-th full 32-bit address inside this prefix."""
+        span = 1 << (_MAX_LEN - self.length)
+        if not 0 <= host_index < span:
+            raise AddressingError(f"host index {host_index} outside /{self.length} span")
+        return self.value + host_index
+
+    def decimal_groups(self, bits_per_group: int = 6) -> Tuple[int, ...]:
+        """The paper's decimal notation over the last 24 bits.
+
+        Returns the first octet followed by the 24 remaining bits split into
+        ``bits_per_group``-bit groups, e.g. ``10.4.16.0/20`` with 6-bit
+        groups renders as ``(10, 1, 1, 0, 0)``.
+        """
+        if 24 % bits_per_group != 0:
+            raise AddressingError(f"24 is not divisible by group width {bits_per_group}")
+        groups = [self.value >> 24]
+        rest = self.value & 0xFFFFFF
+        num_groups = 24 // bits_per_group
+        for g in range(num_groups):
+            shift = 24 - (g + 1) * bits_per_group
+            groups.append((rest >> shift) & ((1 << bits_per_group) - 1))
+        return tuple(groups)
+
+    def __str__(self) -> str:
+        return f"{format_address(self.value)}/{self.length}"

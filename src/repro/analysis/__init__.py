@@ -1,0 +1,31 @@
+"""Analysis tooling: topology reports, parameter sweeps, result export,
+and time-series sampling of a live simulation.
+
+These are the utilities a user adopting the library reaches for after the
+first experiment: quantify a topology's bisection bandwidth and path
+diversity before choosing it, sweep a parameter grid reproducibly, export
+results for external plotting, and sample per-flow rates or link
+utilizations over time.
+"""
+
+from repro.analysis.export import records_to_csv, results_to_json, rows_to_csv
+from repro.analysis.network_stats import NetworkSample, NetworkStatsSampler
+from repro.analysis.parallel import parallel_sweep, run_scenarios_parallel
+from repro.analysis.sampling import LinkUtilizationSampler, RateSampler
+from repro.analysis.sweep import sweep
+from repro.analysis.topology_report import TopologyReport, analyze_topology
+
+__all__ = [
+    "LinkUtilizationSampler",
+    "NetworkSample",
+    "NetworkStatsSampler",
+    "RateSampler",
+    "TopologyReport",
+    "analyze_topology",
+    "parallel_sweep",
+    "records_to_csv",
+    "results_to_json",
+    "rows_to_csv",
+    "run_scenarios_parallel",
+    "sweep",
+]

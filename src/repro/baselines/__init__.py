@@ -1,0 +1,27 @@
+"""Baseline schedulers the paper compares DARD against (§4).
+
+* :class:`EcmpScheduler` — static per-flow hashing (RFC 2992), the default
+  the paper's improvement numbers are measured relative to;
+* :class:`PeriodicVlbScheduler` — flow-level Valiant load balancing with a
+  periodic random re-pick, the paper's "pVLB" variant;
+* :class:`HederaScheduler` — centralized demand estimation + simulated
+  annealing (Al-Fares et al., NSDI 2010), the paper's "Simulated
+  Annealing" curve;
+* :class:`TexcpScheduler` — distributed, load-sensitive *packet-level*
+  traffic engineering (Kandula et al., SIGCOMM 2005), used in §4.3.3.
+"""
+
+from repro.baselines.ecmp import EcmpScheduler
+from repro.baselines.gff import GlobalFirstFitScheduler
+from repro.baselines.hedera import HederaScheduler, estimate_demands
+from repro.baselines.texcp import TexcpScheduler
+from repro.baselines.vlb import PeriodicVlbScheduler
+
+__all__ = [
+    "EcmpScheduler",
+    "GlobalFirstFitScheduler",
+    "HederaScheduler",
+    "PeriodicVlbScheduler",
+    "TexcpScheduler",
+    "estimate_demands",
+]

@@ -1,0 +1,55 @@
+"""Equal-Cost Multi-Path forwarding (RFC 2992; paper's ECMP baseline).
+
+A flow's path is a hash of its five-tuple — source and destination
+addresses plus ephemeral ports — modulo the number of equal-cost paths
+(§4.2: "the hashing function is defined as the source and destination IP
+addresses and ports modulo the number of paths"). The choice is static for
+the flow's lifetime, which is exactly how long-lived elephants end up
+permanently colliding on one link.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.scheduling.base import Scheduler
+from repro.simulator.flows import FlowComponent
+
+
+def five_tuple_hash(src: str, dst: str, sport: int, dport: int, buckets: int) -> int:
+    """Deterministic header hash onto ``buckets`` next-hop choices."""
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    digest = hashlib.sha256(f"{src}:{dst}:{sport}:{dport}:tcp".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % buckets
+
+
+class EcmpScheduler(Scheduler):
+    """Static random flow-level scheduling via header hashing.
+
+    On a link failure the routing protocol re-converges and affected flows
+    re-hash onto the surviving next hops; that reaction is modelled by
+    :meth:`Scheduler.evacuate_failed_link` with a hash-based pick.
+    """
+
+    name = "ecmp"
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        ctx.network.link_failed_listeners.append(self._on_link_failed)
+
+    def _hash_pick(self, paths):
+        sport = int(self.ctx.rng.integers(1024, 65536))
+        dport = int(self.ctx.rng.integers(1024, 65536))
+        return paths[five_tuple_hash("rehash", "rehash", sport, dport, len(paths))]
+
+    def _on_link_failed(self, u: str, v: str) -> None:
+        self.evacuate_failed_link(u, v, self._hash_pick)
+
+    def choose_components(self, src: str, dst: str) -> List[FlowComponent]:
+        paths = self.alive_paths(src, dst)
+        sport = int(self.ctx.rng.integers(1024, 65536))
+        dport = int(self.ctx.rng.integers(1024, 65536))
+        index = five_tuple_hash(src, dst, sport, dport, len(paths))
+        return [self.component_for(src, dst, paths[index])]

@@ -1,0 +1,129 @@
+"""Global First Fit — Hedera's simpler placement algorithm (NSDI 2010).
+
+The Hedera paper evaluates two centralized placement algorithms: Simulated
+Annealing (re-implemented in :mod:`repro.baselines.hedera`, as the DARD
+paper did) and **Global First Fit**, which this module adds as an
+extension baseline. Each scheduling round the controller:
+
+1. collects the elephants and estimates their natural demands;
+2. walks the elephants in arrival order, *linearly searching* each one's
+   equal-cost paths for the first that can fit its whole demand on every
+   hop given the reservations made so far; the flow keeps its current path
+   when that still fits (no gratuitous moves) and stays put when nothing
+   fits.
+
+Greedy and granular where the annealer is global and stochastic — the
+classic quality/complexity trade-off the ablation bench measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.scheduling.base import Scheduler, SchedulerContext
+from repro.scheduling.messages import MessageSizes
+from repro.simulator.flows import Flow, FlowComponent
+from repro.topology.multirooted import SwitchPath
+from repro.baselines.ecmp import five_tuple_hash
+from repro.baselines.hedera import estimate_demands
+
+DEFAULT_SCHEDULING_INTERVAL_S = 5.0
+
+
+class GlobalFirstFitScheduler(Scheduler):
+    """Centralized greedy first-fit elephant placement."""
+
+    name = "gff"
+
+    def __init__(
+        self,
+        scheduling_interval_s: float = DEFAULT_SCHEDULING_INTERVAL_S,
+        message_sizes: MessageSizes = MessageSizes(),
+    ) -> None:
+        super().__init__()
+        self.scheduling_interval_s = scheduling_interval_s
+        self.message_sizes = message_sizes
+
+    def attach(self, ctx: SchedulerContext) -> None:
+        super().attach(ctx)
+        ctx.engine.schedule_every(self.scheduling_interval_s, self._schedule_round)
+        ctx.network.link_failed_listeners.append(self._on_link_failed)
+
+    def _on_link_failed(self, u: str, v: str) -> None:
+        def hash_pick(paths):
+            sport = int(self.ctx.rng.integers(1024, 65536))
+            dport = int(self.ctx.rng.integers(1024, 65536))
+            return paths[five_tuple_hash("rehash", "rehash", sport, dport, len(paths))]
+
+        self.evacuate_failed_link(u, v, hash_pick)
+
+    # -- placement: ECMP until scheduled ----------------------------------------
+
+    def choose_components(self, src: str, dst: str) -> List[FlowComponent]:
+        paths = self.alive_paths(src, dst)
+        sport = int(self.ctx.rng.integers(1024, 65536))
+        dport = int(self.ctx.rng.integers(1024, 65536))
+        index = five_tuple_hash(src, dst, sport, dport, len(paths))
+        return [self.component_for(src, dst, paths[index])]
+
+    # -- the periodic greedy round -----------------------------------------------
+
+    def _schedule_round(self) -> None:
+        network = self.ctx.network
+        elephants = sorted(network.active_elephants(), key=lambda f: f.flow_id)
+        if not elephants:
+            return
+        self.ledger.record(
+            "report", self.message_sizes.report_to_controller, len(elephants)
+        )
+        demands = estimate_demands([(f.src, f.dst) for f in elephants])
+        nic_bps = min(
+            network.capacities[(f.src, network.topology.tor_of(f.src))]
+            for f in elephants
+        )
+        reserved: Dict[Tuple[str, str], float] = {}
+        for flow, demand in zip(elephants, demands):
+            demand_bps = demand * nic_bps
+            placement = self._first_fit(flow, demand_bps, reserved)
+            if placement is None:
+                # Nothing fits outright; the flow keeps its path unreserved
+                # (it will share whatever it lands on, like Hedera's GFF).
+                continue
+            path, links = placement
+            for link in links:
+                reserved[link] = reserved.get(link, 0.0) + demand_bps
+            if path != tuple(flow.switch_path()[1:-1]):
+                network.reroute_flow(
+                    flow, [self.component_for(flow.src, flow.dst, path)]
+                )
+                self.ledger.record(
+                    "update", self.message_sizes.update_from_controller, len(path)
+                )
+
+    def _first_fit(
+        self,
+        flow: Flow,
+        demand_bps: float,
+        reserved: Dict[Tuple[str, str], float],
+    ) -> Optional[Tuple[SwitchPath, List[Tuple[str, str]]]]:
+        """The first path with headroom for the flow's demand on every hop.
+
+        The current path is tried first so converged placements are sticky.
+        """
+        network = self.ctx.network
+        current = tuple(flow.switch_path()[1:-1])
+        candidates = [current] + [
+            p for p in self.alive_paths(flow.src, flow.dst) if p != current
+        ]
+        for path in candidates:
+            full = self.ctx.topology.host_path(flow.src, flow.dst, path)
+            if network.failed_links and not network.path_alive(full):
+                continue
+            links = list(zip(full, full[1:]))
+            if all(
+                reserved.get(link, 0.0) + demand_bps
+                <= network.capacities[link] + 1e-6
+                for link in links
+            ):
+                return path, links
+        return None

@@ -1,0 +1,58 @@
+"""Periodic flow-level Valiant Load Balancing (the paper's pVLB, §4.2).
+
+Plain flow-level VLB forwards each flow through a random core (random
+aggregation pair in a Clos network) and, like ECMP, can strand elephants on
+a collided path forever. The paper therefore evaluates a modified version
+that re-picks a random path for every flow each ``repick_interval_s``
+(10 s). The periodic switch avoids permanent collisions but costs a window
+of retransmitted bytes per switch — which is why pVLB ends up performing
+close to ECMP overall (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scheduling.base import Scheduler, SchedulerContext
+from repro.simulator.flows import Flow, FlowComponent
+
+DEFAULT_REPICK_INTERVAL_S = 10.0
+
+
+class PeriodicVlbScheduler(Scheduler):
+    """VLB with periodic random path re-selection."""
+
+    name = "vlb"
+
+    def __init__(self, repick_interval_s: float = DEFAULT_REPICK_INTERVAL_S) -> None:
+        super().__init__()
+        self.repick_interval_s = repick_interval_s
+
+    def attach(self, ctx: SchedulerContext) -> None:
+        super().attach(ctx)
+        ctx.engine.schedule_every(self.repick_interval_s, self._repick_all)
+        ctx.network.link_failed_listeners.append(self._on_link_failed)
+
+    def _on_link_failed(self, u: str, v: str) -> None:
+        rng = self.ctx.rng
+        self.evacuate_failed_link(u, v, lambda paths: paths[int(rng.integers(len(paths)))])
+
+    def _random_path(self, src: str, dst: str) -> FlowComponent:
+        paths = self.alive_paths(src, dst)
+        index = int(self.ctx.rng.integers(len(paths)))
+        return self.component_for(src, dst, paths[index])
+
+    def choose_components(self, src: str, dst: str) -> List[FlowComponent]:
+        return [self._random_path(src, dst)]
+
+    def _repick_all(self) -> None:
+        """Give every live multi-path flow a fresh random path."""
+        network = self.ctx.network
+        for flow in network.active_flows():
+            paths = self.paths_between(flow.src, flow.dst)
+            if len(paths) < 2:
+                continue
+            component = self._random_path(flow.src, flow.dst)
+            if component.path == flow.components[0].path:
+                continue  # same draw; no actual switch happened
+            network.reroute_flow(flow, [component])

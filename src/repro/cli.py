@@ -1,0 +1,243 @@
+"""Command-line interface: ``dard`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``dard list`` — list reproducible experiments;
+* ``dard run <experiment-id> [--seed N] [--duration S]`` — run one of the
+  paper's tables/figures and print the rendered result;
+* ``dard compare --topology ... --pattern ... --rate ...`` — one-off
+  comparison of any scheduler subset on any topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.common.units import MB, MBPS
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.metrics import improvement
+from repro.experiments.report import render_table
+from repro.experiments.runner import SCHEDULERS, ScenarioConfig, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dard",
+        description="DARD (ICDCS 2012) reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run_cmd = sub.add_parser("run", help="run one experiment by id")
+    run_cmd.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--duration", type=float, default=None, help="override duration in seconds"
+    )
+    run_cmd.add_argument("--csv", default=None, help="also write the rows to this CSV file")
+    run_cmd.add_argument("--json", default=None, help="also write the full output to this JSON file")
+
+    analyze = sub.add_parser("analyze", help="structural report of a topology")
+    analyze.add_argument(
+        "--topology", default="fattree", choices=["fattree", "clos", "threetier"]
+    )
+    analyze.add_argument("--pods", type=int, default=4, help="fat-tree p")
+    analyze.add_argument("--d", type=int, default=4, help="Clos D_I = D_A")
+    analyze.add_argument("--bandwidth-mbps", type=float, default=1000.0)
+
+    run_config = sub.add_parser(
+        "run-config", help="run a scenario described by a JSON config file"
+    )
+    run_config.add_argument("config", help="path to a scenario JSON file")
+    run_config.add_argument("--records-csv", default=None,
+                            help="write per-flow records to this CSV")
+
+    verify = sub.add_parser(
+        "verify", help="verify addressing + switch tables forward every path"
+    )
+    verify.add_argument(
+        "--topology", default="fattree", choices=["fattree", "clos", "threetier"]
+    )
+    verify.add_argument("--pods", type=int, default=4, help="fat-tree p")
+    verify.add_argument("--d", type=int, default=4, help="Clos D_I = D_A")
+    verify.add_argument("--max-pairs", type=int, default=500)
+
+    compare = sub.add_parser("compare", help="ad-hoc scheduler comparison")
+    compare.add_argument(
+        "--topology", default="fattree", choices=["fattree", "clos", "threetier"]
+    )
+    compare.add_argument("--pods", type=int, default=4, help="fat-tree p")
+    compare.add_argument(
+        "--pattern", default="stride", choices=["random", "staggered", "stride"]
+    )
+    compare.add_argument(
+        "--schedulers", nargs="+", default=["ecmp", "dard"], choices=sorted(SCHEDULERS)
+    )
+    compare.add_argument("--rate", type=float, default=0.06, help="flows/s per host")
+    compare.add_argument("--duration", type=float, default=90.0)
+    compare.add_argument("--size-mb", type=float, default=128.0)
+    compare.add_argument("--bandwidth-mbps", type=float, default=100.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--paired",
+        action="store_true",
+        help="also report per-flow paired statistics against the first scheduler",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        {"experiment": name, "what": (fn.__doc__ or "").strip().splitlines()[0]}
+        for name, fn in sorted(EXPERIMENTS.items())
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    started = time.time()
+    output = run_experiment(args.experiment, **kwargs)
+    print(output.render())
+    print(f"\n(ran in {time.time() - started:.1f}s wall time)")
+    if args.csv:
+        from repro.analysis import rows_to_csv
+
+        rows_to_csv(output.rows, args.csv)
+        print(f"rows written to {args.csv}")
+    if args.json:
+        from repro.analysis import results_to_json
+
+        results_to_json(output, args.json)
+        print(f"output written to {args.json}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_topology
+    from repro.topology import build_topology
+
+    params = {"link_bandwidth_bps": args.bandwidth_mbps * MBPS}
+    if args.topology == "fattree":
+        params["p"] = args.pods
+    elif args.topology == "clos":
+        params["d_i"] = args.d
+        params["d_a"] = args.d
+    topo = build_topology(args.topology, **params)
+    print(repr(topo))
+    print(analyze_topology(topo).render())
+    return 0
+
+
+def _cmd_run_config(args: argparse.Namespace) -> int:
+    from repro.experiments import load_config
+    from repro.experiments.metrics import summarize_fct, summarize_path_switches
+
+    config = load_config(args.config)
+    result = run_scenario(config)
+    print(f"scheduler={config.scheduler} topology={config.topology} "
+          f"pattern={config.pattern} seed={config.seed}")
+    print(f"  flows : {len(result.records)} of {result.flows_generated} generated")
+    print(f"  FCT   : {summarize_fct(result.fcts)}")
+    print(f"  paths : {summarize_path_switches(result.path_switches)}")
+    print(f"  ctrl  : {result.control_bytes / 1e3:.1f} KB "
+          f"({result.control_bytes_per_second:.0f} B/s)")
+    if args.records_csv:
+        from repro.analysis import records_to_csv
+
+        n = records_to_csv(result.records, args.records_csv)
+        print(f"  wrote {n} records to {args.records_csv}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.addressing import HierarchicalAddressing, PathCodec
+    from repro.switches import SwitchFabric, verify_fabric
+    from repro.topology import build_topology
+
+    params = {}
+    if args.topology == "fattree":
+        params["p"] = args.pods
+    elif args.topology == "clos":
+        params["d_i"] = args.d
+        params["d_a"] = args.d
+    topo = build_topology(args.topology, **params)
+    addressing = HierarchicalAddressing(topo)
+    fabric = SwitchFabric(addressing)
+    report = verify_fabric(fabric, PathCodec(addressing), max_pairs=args.max_pairs)
+    print(repr(topo))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    topology_params = {"link_bandwidth_bps": args.bandwidth_mbps * MBPS}
+    if args.topology == "fattree":
+        topology_params["p"] = args.pods
+    rows = []
+    results = []
+    baseline = None
+    for scheduler in args.schedulers:
+        result = run_scenario(
+            ScenarioConfig(
+                topology=args.topology,
+                topology_params=topology_params,
+                pattern=args.pattern,
+                scheduler=scheduler,
+                arrival_rate_per_host=args.rate,
+                duration_s=args.duration,
+                flow_size_bytes=args.size_mb * MB,
+                seed=args.seed,
+            )
+        )
+        results.append((scheduler, result))
+        if baseline is None:
+            baseline = result.mean_fct
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "flows": len(result.records),
+                "mean_fct_s": result.mean_fct,
+                "vs_first": improvement(baseline, result.mean_fct),
+                "control_kb": result.control_bytes / 1e3,
+            }
+        )
+    print(render_table(rows))
+    if args.paired and len(results) > 1:
+        from repro.experiments import paired_comparison
+
+        first_name, first = results[0]
+        print(f"\npaired per-flow statistics (vs {first_name}):")
+        for name, result in results[1:]:
+            comparison = paired_comparison(first, result)
+            print(f"  {name:14s} {comparison.summary()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "run-config":
+        return _cmd_run_config(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Shared utilities: units, deterministic RNG streams, and errors.
+
+Everything in :mod:`repro` that needs randomness or unit conversions goes
+through this package so experiments stay exactly reproducible and unit
+mistakes (bits vs bytes, Mbps vs bps) are impossible to make silently.
+"""
+
+from repro.common.errors import (
+    AddressingError,
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.common.logging import enable_console_logging, get_logger
+from repro.common.rng import RngStreams
+from repro.common.units import (
+    GBPS,
+    KBPS,
+    MB,
+    MBPS,
+    bits,
+    bytes_to_bits,
+    mbps,
+    seconds_to_transfer,
+)
+
+__all__ = [
+    "AddressingError",
+    "ConfigurationError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "TopologyError",
+    "RngStreams",
+    "enable_console_logging",
+    "get_logger",
+    "GBPS",
+    "KBPS",
+    "MB",
+    "MBPS",
+    "bits",
+    "bytes_to_bits",
+    "mbps",
+    "seconds_to_transfer",
+]

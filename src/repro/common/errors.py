@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while still
+being able to distinguish subsystem failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology was constructed with invalid parameters or is malformed."""
+
+
+class AddressingError(ReproError):
+    """Prefix allocation or address/path encoding failed."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be forwarded (no matching table entry, loop, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid values."""

@@ -1,0 +1,43 @@
+"""Library logging.
+
+Follows the standard library-logging contract: loggers live under the
+``"repro"`` namespace, the library never configures handlers (a
+``NullHandler`` on the root logger keeps silence by default), and
+applications opt in with ``logging.basicConfig`` or
+:func:`enable_console_logging`.
+
+Hot paths (the allocator, settle loops) deliberately carry no log calls;
+control-plane events (scheduling rounds, path shifts, failures) log at
+DEBUG/INFO where they happen.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library namespace: ``get_logger("core.daemon")``
+    returns ``repro.core.daemon``."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library root (for scripts/notebooks).
+
+    Returns the handler so callers can remove it again.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(name)s %(levelname)s %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

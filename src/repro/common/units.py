@@ -1,0 +1,45 @@
+"""Unit helpers.
+
+Internally the simulator uses **bits per second** for rates, **bytes** for
+flow sizes, and **seconds** for time. These helpers exist so call sites read
+naturally (``10 * MBPS``, ``128 * MB``) and conversions are explicit.
+"""
+
+#: One kilobit per second, in bits/s.
+KBPS = 1_000.0
+
+#: One megabit per second, in bits/s.
+MBPS = 1_000_000.0
+
+#: One gigabit per second, in bits/s.
+GBPS = 1_000_000_000.0
+
+#: One megabyte, in bytes (decimal, as used for file sizes in the paper).
+MB = 1_000_000
+
+
+def mbps(rate_bps: float) -> float:
+    """Convert a rate in bits/s to megabits/s (for reporting)."""
+    return rate_bps / MBPS
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits(num_bytes: float) -> float:
+    """Alias of :func:`bytes_to_bits` for terse call sites."""
+    return bytes_to_bits(num_bytes)
+
+
+def seconds_to_transfer(num_bytes: float, rate_bps: float) -> float:
+    """Time in seconds to move ``num_bytes`` at a constant ``rate_bps``.
+
+    Raises :class:`ValueError` for a non-positive rate — a flow with zero
+    allocated bandwidth never finishes and the caller must handle that case
+    explicitly rather than receive ``inf`` by accident.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return bytes_to_bits(num_bytes) / rate_bps

@@ -1,0 +1,42 @@
+"""DARD: the paper's primary contribution.
+
+Every end host runs a daemon (§3.1) with three components:
+
+* an **elephant flow detector** — a TCP connection that has lasted 10 s is
+  an elephant;
+* **on-demand monitors** — one per (source ToR, destination ToR) pair with
+  live elephants, created when the first such elephant appears and released
+  when the last finishes; each polls the relevant switches every second and
+  assembles the replies into per-path BoNF states (§2.4);
+* a **selfish flow scheduler** — every 5 s plus a uniform random 1-5 s
+  (desynchronization is what keeps the game stable in practice), runs
+  Algorithm 1: shift one elephant flow from the path with the smallest BoNF
+  to the path with the largest, iff the estimated gain exceeds δ (10 Mbps).
+
+Re-routing is expressed through the addressing subsystem: the daemon
+re-encapsulates the flow with the address pair encoding the new path, and
+the static switch tables do the rest.
+"""
+
+from repro.core.bonf import PathState
+from repro.core.daemon import HostDaemon
+from repro.core.monitor import PathMonitor, switches_to_query
+from repro.core.overhead import (
+    OverheadModel,
+    centralized_rate_bytes_per_s,
+    dard_probe_ceiling_bytes_per_s,
+    overhead_model,
+)
+from repro.core.scheduler import DardScheduler
+
+__all__ = [
+    "DardScheduler",
+    "HostDaemon",
+    "OverheadModel",
+    "PathMonitor",
+    "PathState",
+    "centralized_rate_bytes_per_s",
+    "dard_probe_ceiling_bytes_per_s",
+    "overhead_model",
+    "switches_to_query",
+]

@@ -1,0 +1,46 @@
+"""BoNF: link Bandwidth over the Number of elephant Flows (paper §2.2).
+
+A link's BoNF is its bandwidth divided by the number of elephant flows
+crossing it (infinite when it carries none). A path's state is the state of
+its most congested link — the one with the smallest BoNF — excluding the
+host-switch links, which a flow cannot route around.
+
+The global minimum BoNF is a lower bound on the global minimum flow rate
+under max-min fairness (paper Appendix A, Theorem 1), which is why DARD
+uses "maximize the minimum BoNF" as its scheduling objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PathState:
+    """The (bandwidth, flow_numbers, BoNF) triple of a path's bottleneck link."""
+
+    bandwidth_bps: float
+    flow_numbers: int
+
+    @property
+    def bonf(self) -> float:
+        if self.bandwidth_bps <= 0:
+            return 0.0  # dead path: never attractive, always shiftable-from
+        if self.flow_numbers <= 0:
+            return float("inf")
+        return self.bandwidth_bps / self.flow_numbers
+
+    def bonf_with_one_more_flow(self) -> float:
+        """Estimated BoNF if one more elephant joins (Algorithm 1, line 15).
+
+        Uses the paper's simplifying assumption that the monitor's paths do
+        not overlap: the estimate only needs to be good enough to veto
+        shifts that would *lower* the global minimum BoNF.
+        """
+        if self.bandwidth_bps <= 0:
+            return 0.0
+        return self.bandwidth_bps / (self.flow_numbers + 1)
+
+    def __str__(self) -> str:
+        bonf = "inf" if self.flow_numbers == 0 else f"{self.bonf / 1e6:.1f}Mbps"
+        return f"PathState(bw={self.bandwidth_bps / 1e6:.0f}Mbps, flows={self.flow_numbers}, BoNF={bonf})"

@@ -1,0 +1,182 @@
+"""The per-host DARD daemon (paper §3.1).
+
+Owns the host's monitors and runs Algorithm 1 (*selfish flow scheduling*)
+over each of them: pick the monitored path with the largest BoNF and the
+host's own active path with the smallest; if moving one elephant to the
+former raises the bottleneck estimate by more than δ, re-encapsulate one
+elephant flow onto the better path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.addressing.codec import PathCodec
+from repro.common.logging import get_logger
+from repro.scheduling.base import encode_and_verify
+from repro.scheduling.messages import MessageLedger, MessageSizes
+from repro.simulator.flows import Flow, FlowComponent
+from repro.simulator.network import Network
+from repro.core.monitor import PathMonitor
+
+PairKey = Tuple[str, str]
+
+logger = get_logger("core.daemon")
+
+
+class HostDaemon:
+    """Detector + monitors + selfish scheduler for one end host."""
+
+    def __init__(
+        self,
+        host: str,
+        network: Network,
+        codec: PathCodec,
+        ledger: MessageLedger,
+        delta_bps: float,
+        message_sizes: MessageSizes = MessageSizes(),
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.codec = codec
+        self.ledger = ledger
+        self.delta_bps = delta_bps
+        self.message_sizes = message_sizes
+        self.monitors: Dict[PairKey, PathMonitor] = {}
+        #: live elephant flows of this host, grouped by (src ToR, dst ToR).
+        self.elephants: Dict[PairKey, List[Flow]] = {}
+        self.shifts_performed = 0
+
+    # -- detector callbacks ------------------------------------------------------
+
+    def on_elephant(self, flow: Flow) -> None:
+        """A local TCP connection crossed the 10 s elephant threshold."""
+        pair = self._pair_of(flow)
+        src_tor, dst_tor = pair
+        if src_tor == dst_tor:
+            return  # single trivial path; nothing to monitor or schedule
+        self.elephants.setdefault(pair, []).append(flow)
+        if pair not in self.monitors:
+            self.monitors[pair] = PathMonitor(
+                self.network, src_tor, dst_tor, self.ledger, self.message_sizes
+            )
+
+    def on_flow_completed(self, flow: Flow) -> None:
+        """Release monitors whose last elephant finished (paper §2.4.1)."""
+        pair = self._pair_of(flow)
+        flows = self.elephants.get(pair)
+        if not flows:
+            return
+        self.elephants[pair] = [f for f in flows if f.flow_id != flow.flow_id]
+        if not self.elephants[pair]:
+            del self.elephants[pair]
+            self.monitors.pop(pair, None)
+
+    def _pair_of(self, flow: Flow) -> PairKey:
+        topo = self.network.topology
+        return (topo.tor_of(flow.src), topo.tor_of(flow.dst))
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def query_monitors(self) -> None:
+        """Periodic switch-state polling for every live monitor."""
+        for monitor in self.monitors.values():
+            monitor.query()
+
+    # -- Algorithm 1: selfish flow scheduling ----------------------------------------
+
+    def flow_vector(self, monitor: PathMonitor) -> List[int]:
+        """FV: how many of this host's elephants ride each monitored path."""
+        counts = [0] * len(monitor.paths)
+        for flow in self.elephants.get((monitor.src_tor, monitor.dst_tor), []):
+            if not flow.active:
+                continue
+            switch_path = tuple(flow.switch_path()[1:-1])
+            counts[monitor.path_index(switch_path)] += 1
+        return counts
+
+    def run_scheduling_round(self) -> int:
+        """One selfish round over all monitors; returns number of shifts."""
+        shifts = 0
+        for monitor in list(self.monitors.values()):
+            if self._schedule_one(monitor):
+                shifts += 1
+        self.shifts_performed += shifts
+        return shifts
+
+    def _schedule_one(self, monitor: PathMonitor) -> bool:
+        states = monitor.path_states
+        flow_vector = self.flow_vector(monitor)
+        max_index = self._best_target(states)
+        min_index = self._worst_active(states, flow_vector)
+        if max_index is None or min_index is None or max_index == min_index:
+            return False
+        estimation = states[max_index].bonf_with_one_more_flow()
+        min_bonf = states[min_index].bonf
+        if estimation - min_bonf <= self.delta_bps:
+            return False
+        flow = self._pick_flow(monitor, min_index)
+        if flow is None:
+            return False
+        self._shift(flow, monitor, max_index)
+        return True
+
+    @staticmethod
+    def _best_target(states) -> Optional[int]:
+        """The path with the largest BoNF; ties break toward the higher
+        post-shift estimate, then the lower index (deterministic)."""
+        best = None
+        for i, state in enumerate(states):
+            if best is None:
+                best = i
+                continue
+            current = states[best]
+            if (state.bonf, state.bonf_with_one_more_flow()) > (
+                current.bonf,
+                current.bonf_with_one_more_flow(),
+            ):
+                best = i
+        return best
+
+    @staticmethod
+    def _worst_active(states, flow_vector) -> Optional[int]:
+        """The smallest-BoNF path this host actually sends elephants on.
+
+        A host cannot shift a flow off a path it does not contribute to
+        (§2.5's "inactive path" rule).
+        """
+        worst = None
+        for i, state in enumerate(states):
+            if flow_vector[i] <= 0:
+                continue
+            if worst is None or state.bonf < states[worst].bonf:
+                worst = i
+        return worst
+
+    def _pick_flow(self, monitor: PathMonitor, path_index: int) -> Optional[Flow]:
+        target = monitor.paths[path_index]
+        for flow in self.elephants.get((monitor.src_tor, monitor.dst_tor), []):
+            if flow.active and tuple(flow.switch_path()[1:-1]) == target:
+                return flow
+        return None
+
+    def _shift(self, flow: Flow, monitor: PathMonitor, to_index: int) -> None:
+        """Re-encapsulate ``flow`` onto a new path via its address pair."""
+        new_path = monitor.paths[to_index]
+        # The route change is expressed purely as an address-pair swap; the
+        # codec round-trip asserts the static tables will honor it.
+        encode_and_verify(self.codec, flow.src, flow.dst, new_path)
+        component = FlowComponent(
+            self.network.topology.host_path(flow.src, flow.dst, new_path)
+        )
+        logger.debug(
+            "t=%.2f host %s shifts flow %d to path %s",
+            self.network.now, self.host, flow.flow_id, new_path,
+        )
+        self.network.reroute_flow(flow, [component])
+        # Optimistically update local state so later monitors in this round
+        # see the shift (the next query refreshes ground truth).
+        monitor.path_states[to_index] = type(monitor.path_states[to_index])(
+            bandwidth_bps=monitor.path_states[to_index].bandwidth_bps,
+            flow_numbers=monitor.path_states[to_index].flow_numbers + 1,
+        )

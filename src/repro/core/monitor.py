@@ -1,0 +1,105 @@
+"""On-demand path-state monitoring (paper §2.4).
+
+A monitor tracks the BoNF of every equal-cost path between one source ToR
+and one destination ToR. Instead of flooding probes along each path, it
+uses *Path State Assembling*: it queries a fixed set of switches for their
+per-egress-port state — (1) the source ToR, (2) the aggregation switches
+above it, (3) the core switches, (4) the aggregation switches above the
+destination ToR — and assembles the replies into per-path bottleneck
+states. That switch set covers every equal-cost path, so the query cost is
+bounded by topology size, not flow count (the crux of the Fig. 15
+overhead comparison).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.scheduling.messages import MessageLedger, MessageSizes
+from repro.simulator.network import Network
+from repro.topology.multirooted import MultiRootedTopology, SwitchPath
+from repro.core.bonf import PathState
+
+
+def switches_to_query(
+    topology: MultiRootedTopology, src_tor: str, dst_tor: str
+) -> Set[str]:
+    """The switch set a monitor polls (paper §2.4.2).
+
+    For inter-pod pairs this is the paper's four groups. For intra-pod
+    pairs the equal-cost paths only cross the shared aggregation switches,
+    so only the source ToR and those switches need polling.
+    """
+    paths = topology.equal_cost_paths(src_tor, dst_tor)
+    if len(paths[0]) == 5:
+        switches: Set[str] = {src_tor}
+        switches.update(topology.up_neighbors(src_tor))
+        switches.update(topology.cores())
+        switches.update(topology.up_neighbors(dst_tor))
+        return switches
+    switches = {src_tor}
+    for path in paths:
+        switches.update(path[1:-1])
+    return switches
+
+
+class PathMonitor:
+    """Tracks path states between one (source ToR, destination ToR) pair.
+
+    Maintains the paper's two vectors: ``path_states`` (PV), the bottleneck
+    state of each equal-cost path, and — via the owning daemon — FV, the
+    number of elephant flows the host itself sends along each path.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src_tor: str,
+        dst_tor: str,
+        ledger: MessageLedger,
+        message_sizes: MessageSizes = MessageSizes(),
+    ) -> None:
+        self.network = network
+        self.src_tor = src_tor
+        self.dst_tor = dst_tor
+        self.ledger = ledger
+        self.message_sizes = message_sizes
+        self.paths: List[SwitchPath] = network.topology.equal_cost_paths(src_tor, dst_tor)
+        self.query_switches = switches_to_query(network.topology, src_tor, dst_tor)
+        self.path_states: List[PathState] = [
+            PathState(bandwidth_bps=0.0, flow_numbers=0) for _ in self.paths
+        ]
+        self.queries_sent = 0
+
+    def query(self) -> List[PathState]:
+        """One polling round: query switches, assemble per-path states."""
+        # Message accounting: one query out and one reply back per switch.
+        n = len(self.query_switches)
+        self.ledger.record("dard_query", self.message_sizes.dard_query, n)
+        self.ledger.record("dard_reply", self.message_sizes.dard_reply, n)
+        self.queries_sent += n
+        states = []
+        for path in self.paths:
+            if len(path) == 1:
+                # Same-ToR pair: no switch-switch link to monitor.
+                states.append(PathState(bandwidth_bps=float("inf"), flow_numbers=0))
+                continue
+            link_state = self.network.path_state(path, skip_host_links=True)
+            states.append(
+                PathState(
+                    bandwidth_bps=link_state.bandwidth_bps,
+                    flow_numbers=link_state.elephant_flows,
+                )
+            )
+        self.path_states = states
+        return states
+
+    def path_index(self, switch_path: SwitchPath) -> int:
+        """Which monitored path a flow's current route corresponds to."""
+        try:
+            return self.paths.index(tuple(switch_path))
+        except ValueError:
+            raise KeyError(
+                f"path {switch_path!r} is not an equal-cost path between "
+                f"{self.src_tor!r} and {self.dst_tor!r}"
+            ) from None

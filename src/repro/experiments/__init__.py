@@ -1,0 +1,42 @@
+"""Experiment harness: scenario runner, metrics, and figure/table renderers.
+
+Each table and figure in the paper's evaluation (§4) has a function in
+:mod:`repro.experiments.figures` that runs the underlying scenarios and
+returns the same rows/series the paper reports; the ``benchmarks/``
+directory exposes each as a pytest-benchmark target, and the ``dard`` CLI
+can run any of them by id.
+"""
+
+from repro.experiments.comparison import PairedComparison, paired_comparison
+from repro.experiments.configio import load_config, save_config
+from repro.experiments.metrics import (
+    cdf_points,
+    improvement,
+    mean,
+    percentile,
+    summarize_fct,
+    summarize_path_switches,
+)
+from repro.experiments.runner import (
+    ScenarioConfig,
+    ScenarioResult,
+    make_scheduler,
+    run_scenario,
+)
+
+__all__ = [
+    "PairedComparison",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "paired_comparison",
+    "cdf_points",
+    "improvement",
+    "load_config",
+    "make_scheduler",
+    "mean",
+    "save_config",
+    "percentile",
+    "run_scenario",
+    "summarize_fct",
+    "summarize_path_switches",
+]

@@ -1,0 +1,66 @@
+"""Scenario configuration files (JSON).
+
+Experiments beyond the built-in registry live naturally in small config
+files that can be versioned and shared; this module round-trips
+:class:`ScenarioConfig` to strict JSON, validating unknown keys loudly
+(a typo in a field name should never silently fall back to a default).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import ScenarioConfig
+
+PathLike = Union[str, Path]
+
+
+def config_to_dict(config: ScenarioConfig) -> dict:
+    """A JSON-ready dict of one scenario config."""
+    payload = dataclasses.asdict(config)
+    payload["link_events"] = [list(event) for event in config.link_events]
+    return payload
+
+
+def config_from_dict(payload: dict) -> ScenarioConfig:
+    """Build a config from a dict, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenario config keys: {sorted(unknown)}; known: {sorted(known)}"
+        )
+    data = dict(payload)
+    if "link_events" in data:
+        events = []
+        for event in data["link_events"]:
+            if len(event) != 4:
+                raise ConfigurationError(
+                    f"link event must be [action, time, u, v], got {event!r}"
+                )
+            events.append((event[0], float(event[1]), event[2], event[3]))
+        data["link_events"] = tuple(events)
+    return ScenarioConfig(**data)
+
+
+def save_config(config: ScenarioConfig, path: PathLike) -> None:
+    """Write a scenario config to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_config(path: PathLike) -> ScenarioConfig:
+    """Read a scenario config from a JSON file."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed config {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"config {path} must hold a JSON object")
+    return config_from_dict(payload)

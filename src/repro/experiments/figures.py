@@ -1,0 +1,893 @@
+"""One function per table/figure in the paper's evaluation (§4).
+
+Every function runs the underlying scenarios at a *scaled-down* default
+(documented per function; the paper's full sizes are quoted in
+EXPERIMENTS.md) and returns an :class:`ExperimentOutput` holding the same
+rows/series the paper reports plus a rendered text view.
+
+Scale notes applying throughout:
+
+* link bandwidth defaults to 100 Mbps (the paper's DeterLab testbed rate)
+  rather than ns-2's 1 Gbps, so 128 MB transfers last >= 10 s and actually
+  become elephants under moderate load — the same contention regime the
+  paper studies at ~10x smaller simulation cost;
+* fat-trees run at p=4/p=8 (paper: 4 testbed; 8/16/32 ns-2), Clos at
+  D=4/D=8 (paper: 4/8/16), and the 3-tier at 4 cores / 2 pods with the
+  paper's exact 2.5:1 access and 1.5:1 aggregation oversubscription ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.common.units import MB, MBPS
+from repro.experiments.metrics import (
+    cdf_points,
+    improvement,
+    mean,
+    summarize_fct,
+    summarize_path_switches,
+)
+from repro.experiments.report import render_cdf, render_table
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+
+PATTERNS = ("random", "staggered", "stride")
+ALL_SCHEDULERS = ("ecmp", "vlb", "hedera", "dard")
+
+TESTBED_FATTREE = {"p": 4, "link_bandwidth_bps": 100 * MBPS}
+SIM_FATTREE = {"p": 8, "link_bandwidth_bps": 100 * MBPS}
+SIM_CLOS = {"d_i": 8, "d_a": 8, "hosts_per_tor": 2, "link_bandwidth_bps": 100 * MBPS}
+SIM_THREETIER = {
+    "num_cores": 4,
+    "num_pods": 2,
+    "aggs_per_pod": 2,
+    "access_per_pod": 6,
+    "hosts_per_access": 5,
+    "link_bandwidth_bps": 100 * MBPS,
+}
+
+DEFAULT_FLOW_SIZE = 128 * MB
+DEFAULT_RATE = 0.06
+DEFAULT_DURATION = 90.0
+
+
+@dataclass
+class ExperimentOutput:
+    """Structured result of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    series_unit: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        """Text rendering: title, rows table, CDF quantiles, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        if self.series:
+            parts.append(render_cdf(self.series, unit=self.series_unit))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+
+def _scenario(
+    scheduler: str,
+    topology: str,
+    topology_params: dict,
+    pattern: str,
+    rate: float,
+    duration_s: float,
+    seed: int,
+    scheduler_params: dict = None,
+    network_params: dict = None,
+) -> ScenarioResult:
+    return run_scenario(
+        ScenarioConfig(
+            topology=topology,
+            topology_params=dict(topology_params),
+            pattern=pattern,
+            scheduler=scheduler,
+            scheduler_params=dict(scheduler_params or {}),
+            network_params=dict(network_params or {}),
+            arrival_rate_per_host=rate,
+            duration_s=duration_s,
+            flow_size_bytes=DEFAULT_FLOW_SIZE,
+            seed=seed,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: improvement of DARD over ECMP vs flow generating rate (testbed)
+# ---------------------------------------------------------------------------
+
+def fig4_improvement(
+    rates: Sequence[float] = (0.02, 0.04, 0.06, 0.08, 0.10),
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """File transfer improvement vs flow generating rate, three patterns.
+
+    Paper: p=4 fat-tree DeterLab testbed, rates up to one flow/s per pair.
+    Expected shape: stride improves at every rate; random/staggered start
+    near zero (path diversity unneeded), rise as cross-pod flows contend,
+    then fall as host-switch links become the bottleneck.
+    """
+    rows = []
+    for pattern in PATTERNS:
+        for rate in rates:
+            ecmp = _scenario("ecmp", "fattree", TESTBED_FATTREE, pattern, rate, duration_s, seed)
+            dard = _scenario("dard", "fattree", TESTBED_FATTREE, pattern, rate, duration_s, seed)
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "rate_per_host": rate,
+                    "ecmp_mean_s": ecmp.mean_fct,
+                    "dard_mean_s": dard.mean_fct,
+                    "improvement": improvement(ecmp.mean_fct, dard.mean_fct),
+                }
+            )
+    return ExperimentOutput(
+        "fig4",
+        "DARD's file transfer improvement over ECMP vs flow generating rate "
+        "(p=4 fat-tree testbed)",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: FCT CDF under stride on the testbed (DARD / ECMP / pVLB)
+# ---------------------------------------------------------------------------
+
+def fig5_testbed_cdf(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """CDF of file transfer time, p=4 fat-tree, stride.
+
+    Expected shape: DARD's curve is steeper — it improves the mean by
+    improving fairness, pulling both the fastest and slowest flows toward
+    the average.
+    """
+    rows = []
+    series = {}
+    for scheduler in ("dard", "ecmp", "vlb"):
+        result = _scenario(
+            "vlb" if scheduler == "vlb" else scheduler,
+            "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed,
+        )
+        series[scheduler] = cdf_points(result.fcts)
+        summary = summarize_fct(result.fcts)
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "mean_s": summary.mean_s,
+                "median_s": summary.median_s,
+                "p90_s": summary.p90_s,
+                "max_s": summary.max_s,
+            }
+        )
+    return ExperimentOutput(
+        "fig5",
+        "File transfer time CDF, p=4 fat-tree, stride (testbed)",
+        rows=rows,
+        series=series,
+        series_unit="seconds (FCT at cumulative fraction)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: path switch count CDF on the testbed, three patterns
+# ---------------------------------------------------------------------------
+
+def fig6_path_switches(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """CDF of DARD path-switch counts, p=4 fat-tree, three patterns.
+
+    Expected shape: staggered flows almost never switch (bottlenecks sit on
+    host links); stride flows switch at most a handful of times, far fewer
+    than the 4 available paths — DARD introduces little path oscillation.
+    """
+    rows = []
+    series = {}
+    for pattern in PATTERNS:
+        result = _scenario("dard", "fattree", TESTBED_FATTREE, pattern, rate, duration_s, seed)
+        switches = result.path_switches
+        series[pattern] = cdf_points([float(s) for s in switches])
+        summary = summarize_path_switches(switches)
+        rows.append(
+            {
+                "pattern": pattern,
+                "mean": summary.mean,
+                "p90": summary.p90,
+                "max": summary.max,
+                "never_switched": summary.fraction_zero,
+            }
+        )
+    return ExperimentOutput(
+        "fig6",
+        "DARD path switch times CDF, p=4 fat-tree (testbed)",
+        rows=rows,
+        series=series,
+        series_unit="path switches per flow",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7/9/11: FCT CDFs with all four schedulers on the three topologies
+# ---------------------------------------------------------------------------
+
+def _four_scheduler_cdf(
+    experiment_id: str,
+    title: str,
+    topology: str,
+    topology_params: dict,
+    rate: float,
+    duration_s: float,
+    seed: int,
+    patterns: Sequence[str] = PATTERNS,
+) -> ExperimentOutput:
+    rows = []
+    series = {}
+    for pattern in patterns:
+        for scheduler in ALL_SCHEDULERS:
+            result = _scenario(
+                scheduler, topology, topology_params, pattern, rate, duration_s, seed
+            )
+            series[f"{pattern}/{scheduler}"] = cdf_points(result.fcts)
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "scheduler": scheduler,
+                    "mean_fct_s": result.mean_fct,
+                    "flows": len(result.records),
+                }
+            )
+    return ExperimentOutput(
+        experiment_id,
+        title,
+        rows=rows,
+        series=series,
+        series_unit="seconds (FCT at cumulative fraction)",
+    )
+
+
+def fig7_fattree_cdf(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """FCT CDFs, fat-tree, all schedulers x all patterns (paper p=32; here p=8).
+
+    Expected shape: under stride, Hedera and DARD beat ECMP and pVLB with
+    Hedera ahead by <10%; under staggered, DARD wins outright (Hedera's
+    per-destination assignment cannot help intra-pod traffic); random sits
+    in between.
+    """
+    return _four_scheduler_cdf(
+        "fig7",
+        "File transfer time CDF on fat-tree (scaled p=8; paper p=32)",
+        "fattree",
+        SIM_FATTREE,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+def fig9_clos_cdf(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """FCT CDFs on a Clos network (paper D_I=D_A=16; here D=8)."""
+    return _four_scheduler_cdf(
+        "fig9",
+        "File transfer time CDF on Clos network (scaled D=8; paper D=16)",
+        "clos",
+        SIM_CLOS,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+def fig11_threetier_cdf(
+    rate: float = 0.04,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """FCT CDFs on the oversubscribed 3-tier topology.
+
+    Expected shape (paper §4.3.2): with oversubscription the bottlenecks
+    move around — under staggered DARD beats even the centralized
+    scheduler; under stride DARD beats random scheduling with a small gap
+    to centralized.
+    """
+    return _four_scheduler_cdf(
+        "fig11",
+        "File transfer time CDF on 8-core 3-tier (scaled 4-core; oversub 2.5:1/1.5:1)",
+        "threetier",
+        SIM_THREETIER,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/10/12 + Tables 5/7: DARD path-switch stability
+# ---------------------------------------------------------------------------
+
+def _switch_stats(
+    experiment_id: str,
+    title: str,
+    topology: str,
+    sizes: Dict[str, dict],
+    rate: float,
+    duration_s: float,
+    seed: int,
+) -> ExperimentOutput:
+    rows = []
+    series = {}
+    for size_label, topology_params in sizes.items():
+        for pattern in PATTERNS:
+            result = _scenario(
+                "dard", topology, topology_params, pattern, rate, duration_s, seed
+            )
+            summary = summarize_path_switches(result.path_switches)
+            series[f"{size_label}/{pattern}"] = cdf_points(
+                [float(s) for s in result.path_switches]
+            )
+            rows.append(
+                {
+                    "size": size_label,
+                    "pattern": pattern,
+                    "mean": summary.mean,
+                    "p90": summary.p90,
+                    "max": summary.max,
+                    "never_switched": summary.fraction_zero,
+                }
+            )
+    return ExperimentOutput(
+        experiment_id,
+        title,
+        rows=rows,
+        series=series,
+        series_unit="path switches per flow",
+    )
+
+
+def fig8_tab5_fattree_switches(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Path-switch CDFs and 90th/max stats on fat-trees (Fig 8 + Table 5).
+
+    Expected: 90th percentile <= a handful, max well below the number of
+    available paths — flows finish before exploring all paths.
+    """
+    sizes = {
+        "p=4": TESTBED_FATTREE,
+        "p=8": SIM_FATTREE,
+    }
+    return _switch_stats(
+        "fig8_tab5",
+        "DARD path switch times on fat-trees (paper p=8/16/32; here p=4/8)",
+        "fattree",
+        sizes,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+def fig10_tab7_clos_switches(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Path-switch stats on Clos networks (Fig 10 + Table 7)."""
+    sizes = {
+        "D=4": {"d_i": 4, "d_a": 4, "hosts_per_tor": 2, "link_bandwidth_bps": 100 * MBPS},
+        "D=8": SIM_CLOS,
+    }
+    return _switch_stats(
+        "fig10_tab7",
+        "DARD path switch times on Clos networks (paper D=4/8/16; here D=4/8)",
+        "clos",
+        sizes,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+def fig12_threetier_switches(
+    rate: float = 0.04,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Path-switch stats on the 3-tier topology (Fig 12).
+
+    Expected: 90% of flows shift paths no more than twice even with
+    oversubscription > 1.
+    """
+    return _switch_stats(
+        "fig12",
+        "DARD path switch times on the oversubscribed 3-tier topology",
+        "threetier",
+        {"4-core": SIM_THREETIER},
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 4/6: average FCT across sizes, patterns, schedulers
+# ---------------------------------------------------------------------------
+
+def _avg_fct_table(
+    experiment_id: str,
+    title: str,
+    topology: str,
+    sizes: Dict[str, dict],
+    rate: float,
+    duration_s: float,
+    seed: int,
+) -> ExperimentOutput:
+    rows = []
+    for size_label, topology_params in sizes.items():
+        for pattern in PATTERNS:
+            row: Dict[str, object] = {"size": size_label, "pattern": pattern}
+            for scheduler in ALL_SCHEDULERS:
+                result = _scenario(
+                    scheduler, topology, topology_params, pattern, rate, duration_s, seed
+                )
+                row[f"{scheduler}_s"] = result.mean_fct
+            rows.append(row)
+    return ExperimentOutput(experiment_id, title, rows=rows)
+
+
+def tab4_fattree_fct(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Average file transfer time on fat-trees (Table 4; paper p=8/16/32).
+
+    Expected: DARD < ECMP ~= pVLB everywhere; DARD ~ Hedera under stride
+    (DARD even wins on the small fat-tree); DARD < Hedera under staggered.
+    """
+    sizes = {"p=4": TESTBED_FATTREE, "p=8": SIM_FATTREE}
+    return _avg_fct_table(
+        "tab4",
+        "Average file transfer time (s) on fat-trees",
+        "fattree",
+        sizes,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+def tab6_clos_fct(
+    rate: float = DEFAULT_RATE,
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Average file transfer time on Clos networks (Table 6)."""
+    sizes = {
+        "D=4": {"d_i": 4, "d_a": 4, "hosts_per_tor": 2, "link_bandwidth_bps": 100 * MBPS},
+        "D=8": SIM_CLOS,
+    }
+    return _avg_fct_table(
+        "tab6",
+        "Average file transfer time (s) on Clos networks",
+        "clos",
+        sizes,
+        rate,
+        duration_s,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 13/14: DARD vs TeXCP
+# ---------------------------------------------------------------------------
+
+def fig13_fig14_texcp(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """DARD vs TeXCP: FCT CDF (Fig 13) and retransmission-rate CDF (Fig 14).
+
+    Expected: both achieve similar bisection bandwidth, but TeXCP's
+    packet-level striping reorders packets and retransmits (up to tens of
+    percent), so DARD's goodput — and hence FCT — is slightly better while
+    DARD's retransmission rate stays near zero.
+    """
+    rows = []
+    series = {}
+    for scheduler in ("dard", "texcp"):
+        result = _scenario(
+            scheduler, "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed
+        )
+        series[f"fct/{scheduler}"] = cdf_points(result.fcts)
+        series[f"retx/{scheduler}"] = cdf_points(result.retx_rates)
+        summary = summarize_fct(result.fcts)
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "mean_fct_s": summary.mean_s,
+                "mean_retx_rate": mean(result.retx_rates),
+                "max_retx_rate": max(result.retx_rates) if result.retx_rates else 0.0,
+            }
+        )
+    return ExperimentOutput(
+        "fig13_fig14",
+        "DARD vs TeXCP on p=4 fat-tree, stride: FCT and TCP retransmission rate",
+        rows=rows,
+        series=series,
+        series_unit="seconds for fct/*, fraction for retx/*",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: control-plane overhead, DARD vs centralized scheduling
+# ---------------------------------------------------------------------------
+
+def fig15_overhead(
+    rates: Sequence[float] = (0.01, 0.02, 0.04, 0.06, 0.08),
+    duration_s: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Control message bandwidth vs peak number of elephant flows (p=8).
+
+    Expected shape: DARD's probe traffic grows with the number of
+    source-destination pairs but is *bounded by topology size* (all-pairs
+    probing is the ceiling), while the centralized scheduler's
+    report/update traffic is proportional to flow count; their curves
+    cross as load grows and DARD flattens out.
+    """
+    rows = []
+    for scheduler in ("dard", "hedera"):
+        for rate in rates:
+            result = _scenario(
+                scheduler, "fattree", SIM_FATTREE, "random", rate, duration_s, seed
+            )
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "rate_per_host": rate,
+                    "peak_elephants": result.peak_elephants,
+                    "control_kb_per_s": result.control_bytes_per_second / 1e3,
+                    "messages": result.control_messages,
+                }
+            )
+    return ExperimentOutput(
+        "fig15",
+        "Control message bandwidth vs peak elephant flows (p=8 fat-tree)",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ---------------------------------------------------------------------------
+
+def ablation_delta(
+    deltas_mbps: Sequence[float] = (0.0, 1.0, 10.0, 50.0),
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """δ threshold sweep: performance vs stability trade-off (§2.5).
+
+    δ=0 maximizes shifting (any BoNF gain triggers a move); larger δ damps
+    oscillation at some performance cost.
+    """
+    rows = []
+    for delta in deltas_mbps:
+        result = _scenario(
+            "dard", "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed,
+            scheduler_params={"delta_bps": delta * MBPS},
+        )
+        switches = summarize_path_switches(result.path_switches)
+        rows.append(
+            {
+                "delta_mbps": delta,
+                "mean_fct_s": result.mean_fct,
+                "mean_switches": switches.mean,
+                "max_switches": switches.max,
+                "shifts_total": result.dard_shifts,
+            }
+        )
+    return ExperimentOutput(
+        "ablation_delta",
+        "DARD δ threshold sweep (p=4 fat-tree, stride)",
+        rows=rows,
+    )
+
+
+def ablation_synchronization(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Randomized vs synchronized scheduling intervals (§4.2).
+
+    The paper attributes DARD's low path oscillation to the random
+    [1 s, 5 s] added to each host's scheduling interval; removing it makes
+    hosts react to the same stale state simultaneously.
+    """
+    rows = []
+    for synchronized in (False, True):
+        result = _scenario(
+            "dard", "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed,
+            scheduler_params={"synchronized": synchronized},
+        )
+        switches = summarize_path_switches(result.path_switches)
+        rows.append(
+            {
+                "mode": "synchronized" if synchronized else "randomized",
+                "mean_fct_s": result.mean_fct,
+                "mean_switches": switches.mean,
+                "max_switches": switches.max,
+                "shifts_total": result.dard_shifts,
+            }
+        )
+    return ExperimentOutput(
+        "ablation_sync",
+        "Randomized vs synchronized DARD scheduling intervals",
+        rows=rows,
+    )
+
+
+def ablation_query_interval(
+    intervals_s: Sequence[float] = (0.5, 1.0, 2.0, 5.0),
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Monitor query interval sweep: state staleness vs probe overhead."""
+    rows = []
+    for interval in intervals_s:
+        result = _scenario(
+            "dard", "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed,
+            scheduler_params={"query_interval_s": interval},
+        )
+        rows.append(
+            {
+                "query_interval_s": interval,
+                "mean_fct_s": result.mean_fct,
+                "control_kb_per_s": result.control_bytes_per_second / 1e3,
+            }
+        )
+    return ExperimentOutput(
+        "ablation_query",
+        "DARD monitor query interval sweep",
+        rows=rows,
+    )
+
+
+def ablation_elephant_threshold(
+    thresholds_s: Sequence[float] = (5.0, 10.0, 20.0),
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Elephant promotion age sweep (the paper fixes 10 s).
+
+    Lower thresholds let DARD act on flows sooner (better FCT, more control
+    traffic); higher thresholds leave short-lived congestion unmanaged.
+    """
+    rows = []
+    for threshold in thresholds_s:
+        result = _scenario(
+            "dard", "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed,
+            network_params={"elephant_age_s": threshold},
+        )
+        rows.append(
+            {
+                "elephant_age_s": threshold,
+                "mean_fct_s": result.mean_fct,
+                "shifts_total": result.dard_shifts,
+                "control_kb_per_s": result.control_bytes_per_second / 1e3,
+            }
+        )
+    return ExperimentOutput(
+        "ablation_elephant",
+        "Elephant detection threshold sweep",
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extensions (beyond the paper's evaluation)
+# ---------------------------------------------------------------------------
+
+def ext_flowlet_texcp(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """The paper's future-work hypothesis (§4.3.3), tested: scheduling
+    TeXCP at flowlet granularity should eliminate the reordering
+    retransmissions that packet granularity suffers and recover the lost
+    goodput."""
+    rows = []
+    for scheduler in ("texcp", "texcp-flowlet", "dard"):
+        result = _scenario(
+            scheduler, "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed
+        )
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "mean_fct_s": result.mean_fct,
+                "mean_retx_rate": mean(result.retx_rates),
+            }
+        )
+    return ExperimentOutput(
+        "ext_flowlet",
+        "TeXCP at packet vs flowlet granularity vs DARD (paper future work)",
+        rows=rows,
+    )
+
+
+def ext_centralized_variants(
+    rate: float = 0.08,
+    duration_s: float = 90.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Hedera's two placement algorithms (Simulated Annealing vs Global
+    First Fit) against DARD, across all three patterns."""
+    rows = []
+    for pattern in PATTERNS:
+        row: Dict[str, object] = {"pattern": pattern}
+        for scheduler in ("ecmp", "hedera", "gff", "dard"):
+            result = _scenario(
+                scheduler, "fattree", TESTBED_FATTREE, pattern, rate, duration_s, seed
+            )
+            row[f"{scheduler}_s"] = result.mean_fct
+        rows.append(row)
+    return ExperimentOutput(
+        "ext_centralized",
+        "Centralized variants (SA vs Global First Fit) vs DARD, p=4 fat-tree",
+        rows=rows,
+    )
+
+
+def ext_failure_recovery(
+    rate: float = 0.08,
+    duration_s: float = 120.0,
+    fail_at_s: float = 30.0,
+    restore_at_s: float = 90.0,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Failure injection: a core uplink dies mid-experiment and later
+    heals. Compares how each scheduler's mean FCT degrades relative to its
+    own failure-free run — DARD routes around the failure using nothing
+    but the BoNF state it already monitors."""
+    events = (
+        ("fail", fail_at_s, "agg_0_0", "core_0_0"),
+        ("restore", restore_at_s, "agg_0_0", "core_0_0"),
+    )
+    rows = []
+    for scheduler in ("ecmp", "vlb", "hedera", "dard"):
+        healthy = _scenario(
+            scheduler, "fattree", TESTBED_FATTREE, "stride", rate, duration_s, seed
+        )
+        degraded = run_scenario(
+            ScenarioConfig(
+                topology="fattree",
+                topology_params=dict(TESTBED_FATTREE),
+                pattern="stride",
+                scheduler=scheduler,
+                arrival_rate_per_host=rate,
+                duration_s=duration_s,
+                flow_size_bytes=DEFAULT_FLOW_SIZE,
+                seed=seed,
+                link_events=events,
+            )
+        )
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "healthy_fct_s": healthy.mean_fct,
+                "failure_fct_s": degraded.mean_fct,
+                "degradation": degraded.mean_fct / healthy.mean_fct - 1.0,
+                "stalled_flows": sum(
+                    1 for r in degraded.records if r.fct > 2 * healthy.mean_fct
+                ),
+            }
+        )
+    return ExperimentOutput(
+        "ext_failures",
+        "Mean FCT degradation under a mid-run core-uplink failure",
+        rows=rows,
+    )
+
+
+def theory_convergence(
+    flow_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    trials: int = 20,
+    seed: int = 0,
+    duration_s: float = None,  # accepted for CLI uniformity; unused
+) -> ExperimentOutput:
+    """Quantify Theorem 2 and the price-of-anarchy claim (Appendix B).
+
+    Plays asynchronous best-response dynamics on random games over p=4
+    fat-tree route sets: steps to Nash vs number of flows, plus the
+    Nash-vs-optimum min-BoNF ratio where the optimum is brute-forceable.
+    """
+    from repro.gametheory import convergence_study
+
+    rows = []
+    for row in convergence_study(flow_counts=flow_counts, trials=trials, seed=seed):
+        rows.append(
+            {
+                "flows": row.num_flows,
+                "mean_steps": row.mean_steps,
+                "max_steps": row.max_steps,
+                "mean_poa": row.mean_poa if row.mean_poa is not None else "-",
+                "worst_poa": row.worst_poa if row.worst_poa is not None else "-",
+            }
+        )
+    return ExperimentOutput(
+        "theory_convergence",
+        "Best-response dynamics: steps to Nash and price of anarchy",
+        rows=rows,
+        notes="PoA = min-BoNF(reached Nash) / min-BoNF(global optimum); "
+        "'-' where the optimum is too large to brute force.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
+    "fig4": fig4_improvement,
+    "fig5": fig5_testbed_cdf,
+    "fig6": fig6_path_switches,
+    "fig7": fig7_fattree_cdf,
+    "fig8_tab5": fig8_tab5_fattree_switches,
+    "fig9": fig9_clos_cdf,
+    "fig10_tab7": fig10_tab7_clos_switches,
+    "fig11": fig11_threetier_cdf,
+    "fig12": fig12_threetier_switches,
+    "tab4": tab4_fattree_fct,
+    "tab6": tab6_clos_fct,
+    "fig13_fig14": fig13_fig14_texcp,
+    "fig15": fig15_overhead,
+    "ablation_delta": ablation_delta,
+    "ablation_sync": ablation_synchronization,
+    "ablation_query": ablation_query_interval,
+    "ablation_elephant": ablation_elephant_threshold,
+    "ext_flowlet": ext_flowlet_texcp,
+    "ext_centralized": ext_centralized_variants,
+    "ext_failures": ext_failure_recovery,
+    "theory_convergence": theory_convergence,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutput:
+    """Run one reproduced experiment by id (see :data:`EXPERIMENTS`)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)

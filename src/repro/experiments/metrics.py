@@ -1,0 +1,106 @@
+"""Evaluation metrics (paper §4).
+
+Two headline metrics: **file transfer time** (efficiency of the flow
+scheduler) and **path switch count per flow** (stability). Plus the
+improvement formula (eq. 1) Fig. 4 is plotted with, and TCP retransmission
+rate for the TeXCP comparison (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; NaN for an empty sequence (renders as missing)."""
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100); NaN when empty."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(values, q))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) points."""
+    if not values:
+        return []
+    ordered = np.sort(np.asarray(values, dtype=float))
+    n = len(ordered)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def improvement(baseline_avg: float, other_avg: float) -> float:
+    """Paper eq. (1): (avg_T_baseline - avg_T_other) / avg_T_baseline.
+
+    Positive means ``other`` transfers files faster than the baseline.
+    """
+    if baseline_avg == 0:
+        raise ValueError("baseline average must be non-zero")
+    return (baseline_avg - other_avg) / baseline_avg
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """File-transfer-time statistics for one scenario."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p90_s: float
+    max_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_s:.2f}s median={self.median_s:.2f}s "
+            f"p90={self.p90_s:.2f}s max={self.max_s:.2f}s"
+        )
+
+
+def summarize_fct(fcts: Sequence[float]) -> FctSummary:
+    """Summary statistics of a set of flow completion times."""
+    return FctSummary(
+        count=len(fcts),
+        mean_s=mean(fcts),
+        median_s=percentile(fcts, 50),
+        p90_s=percentile(fcts, 90),
+        max_s=max(fcts) if fcts else float("nan"),
+    )
+
+
+@dataclass(frozen=True)
+class PathSwitchSummary:
+    """Path-switch statistics (the paper's stability metric, Tables 5/7)."""
+
+    count: int
+    mean: float
+    p90: int
+    max: int
+    fraction_zero: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} 90th={self.p90} max={self.max} "
+            f"never-switched={self.fraction_zero:.0%}"
+        )
+
+
+def summarize_path_switches(switches: Sequence[int]) -> PathSwitchSummary:
+    """Summary statistics of per-flow path switch counts."""
+    if not switches:
+        return PathSwitchSummary(0, float("nan"), 0, 0, float("nan"))
+    arr = np.asarray(switches)
+    return PathSwitchSummary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        p90=int(np.percentile(arr, 90)),
+        max=int(arr.max()),
+        fraction_zero=float((arr == 0).mean()),
+    )

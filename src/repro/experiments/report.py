@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment outputs (tables and CDF sketches)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(rows: List[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3g}" if abs(value) < 0.01 or abs(value) >= 1000 else f"{value:.2f}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in table
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def render_cdf(
+    series: Dict[str, List[Tuple[float, float]]],
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+    unit: str = "",
+) -> str:
+    """Summarize CDF curves by their values at a few cumulative fractions.
+
+    Full curves are carried in the experiment output for plotting; the text
+    view reports each curve's quantiles, which is what the paper's CDF
+    figures are read for anyway.
+    """
+    lines = []
+    names = list(series)
+    header = "fraction  " + "  ".join(f"{name:>12s}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for q in quantiles:
+        cells = []
+        for name in names:
+            points = series[name]
+            value = _value_at_fraction(points, q)
+            cells.append(f"{value:12.2f}" if value == value else f"{'-':>12s}")
+        lines.append(f"{q:8.2f}  " + "  ".join(cells))
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def _value_at_fraction(points: List[Tuple[float, float]], fraction: float) -> float:
+    """Smallest value whose cumulative fraction reaches ``fraction``."""
+    if not points:
+        return float("nan")
+    for value, cumulative in points:
+        if cumulative >= fraction - 1e-12:
+            return value
+    return points[-1][0]

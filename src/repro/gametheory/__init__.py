@@ -1,0 +1,37 @@
+"""The congestion-game formalization of DARD's flow scheduling (Appendix B).
+
+The paper models selfish flow scheduling as a congestion game
+``(F, G, {r_f})`` and proves (Theorem 2) that asynchronous selfish moves
+strictly decrease a lexicographic potential — the *state vector* ``SV(s)``
+counting links per BoNF bucket of width δ — so the dynamics converge to a
+Nash equilibrium in finitely many steps, and the lexicographically smallest
+strategy is both globally optimal and a Nash equilibrium.
+
+This package implements the game abstractly (any link set, any route sets)
+so the theorems can be checked directly, plus a bridge that snapshots a
+live :class:`repro.simulator.network.Network` into a game instance.
+"""
+
+from repro.gametheory.congestion_game import (
+    CongestionGame,
+    GameFlow,
+    compare_state_vectors,
+)
+from repro.gametheory.bridge import game_from_network
+from repro.gametheory.study import ConvergenceRow, convergence_study, random_game_on
+from repro.gametheory.theorems import (
+    check_theorem1_bound,
+    run_best_response_dynamics,
+)
+
+__all__ = [
+    "CongestionGame",
+    "ConvergenceRow",
+    "GameFlow",
+    "check_theorem1_bound",
+    "compare_state_vectors",
+    "convergence_study",
+    "game_from_network",
+    "random_game_on",
+    "run_best_response_dynamics",
+]

@@ -1,0 +1,217 @@
+"""The congestion game (F, G, {r_f}) and its lexicographic potential.
+
+Terminology follows the paper's Appendix B:
+
+* a **strategy** assigns each flow one of its routes (a route is the set of
+  links it crosses);
+* a link's state under a strategy is its BoNF — bandwidth over the number
+  of flows using it;
+* a flow's state is the *smallest* BoNF along its route (its bottleneck);
+* the **state vector** ``SV(s) = [v_0, v_1, ...]`` counts links whose BoNF
+  falls in bucket ``[k δ, (k+1) δ)``; strategies are compared
+  lexicographically on it, and every selfish improvement strictly
+  decreases it — that is the potential argument behind Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+LinkName = Hashable
+Strategy = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GameFlow:
+    """One player: the set of alternative routes it may use."""
+
+    flow_id: int
+    routes: Tuple[Tuple[LinkName, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.routes:
+            raise ConfigurationError(f"flow {self.flow_id} has no routes")
+        for route in self.routes:
+            if not route:
+                raise ConfigurationError(f"flow {self.flow_id} has an empty route")
+
+
+class CongestionGame:
+    """An atomic congestion game with the BoNF cost structure."""
+
+    def __init__(
+        self,
+        capacities: Dict[LinkName, float],
+        flows: Sequence[GameFlow],
+        delta_bps: float,
+    ) -> None:
+        if delta_bps <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta_bps}")
+        for link, cap in capacities.items():
+            if cap <= 0:
+                raise ConfigurationError(f"link {link!r} has non-positive capacity")
+        self.capacities = dict(capacities)
+        self.flows = list(flows)
+        self.delta_bps = delta_bps
+        for flow in self.flows:
+            for route in flow.routes:
+                for link in route:
+                    if link not in self.capacities:
+                        raise ConfigurationError(
+                            f"flow {flow.flow_id} route uses unknown link {link!r}"
+                        )
+
+    # -- strategy mechanics ---------------------------------------------------
+
+    def initial_strategy(self) -> Strategy:
+        """Everyone on their first route."""
+        return tuple(0 for _ in self.flows)
+
+    def validate_strategy(self, strategy: Strategy) -> None:
+        """Raise unless the strategy indexes a valid route per flow."""
+        if len(strategy) != len(self.flows):
+            raise ConfigurationError(
+                f"strategy has {len(strategy)} entries for {len(self.flows)} flows"
+            )
+        for flow, choice in zip(self.flows, strategy):
+            if not 0 <= choice < len(flow.routes):
+                raise ConfigurationError(
+                    f"flow {flow.flow_id} route index {choice} out of range"
+                )
+
+    def link_counts(self, strategy: Strategy) -> Dict[LinkName, int]:
+        """Flows per link under a strategy."""
+        counts: Dict[LinkName, int] = {}
+        for flow, choice in zip(self.flows, strategy):
+            for link in flow.routes[choice]:
+                counts[link] = counts.get(link, 0) + 1
+        return counts
+
+    def link_bonf(self, link: LinkName, count: int) -> float:
+        """BoNF of a link carrying ``count`` flows (infinite when idle)."""
+        if count <= 0:
+            return float("inf")
+        return self.capacities[link] / count
+
+    def flow_bonf(self, strategy: Strategy, flow_index: int, counts=None) -> float:
+        """The flow's state: its route's bottleneck BoNF."""
+        if counts is None:
+            counts = self.link_counts(strategy)
+        route = self.flows[flow_index].routes[strategy[flow_index]]
+        return min(self.link_bonf(link, counts.get(link, 0)) for link in route)
+
+    def min_bonf(self, strategy: Strategy) -> float:
+        """The system state: the smallest BoNF over all *used* links."""
+        counts = self.link_counts(strategy)
+        used = [self.link_bonf(link, c) for link, c in counts.items() if c > 0]
+        return min(used) if used else float("inf")
+
+    # -- the lexicographic potential ----------------------------------------------
+
+    def state_vector(self, strategy: Strategy) -> Tuple[int, ...]:
+        """``SV(s)``: link counts per BoNF bucket of width δ.
+
+        Links carrying no flow (infinite BoNF) are omitted — they can only
+        get *better* buckets by gaining flows, and omitting them keeps the
+        vector finite. Trailing zeros are trimmed so equal vectors compare
+        equal regardless of bucket horizon.
+        """
+        counts = self.link_counts(strategy)
+        buckets: Dict[int, int] = {}
+        for link, count in counts.items():
+            if count <= 0:
+                continue
+            bucket = int(self.link_bonf(link, count) / self.delta_bps)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        if not buckets:
+            return ()
+        horizon = max(buckets) + 1
+        return tuple(buckets.get(k, 0) for k in range(horizon))
+
+    # -- selfish moves (Algorithm 1's game-theoretic core) ---------------------------
+
+    def best_response(
+        self, strategy: Strategy, flow_index: int
+    ) -> Optional[int]:
+        """The route that most improves the flow's own BoNF, if any.
+
+        A move is only taken when the improvement exceeds δ — the same
+        threshold DARD's scheduler applies — so converged means
+        δ-Nash: no flow can gain more than δ by deviating alone.
+        """
+        counts = self.link_counts(strategy)
+        flow = self.flows[flow_index]
+        current_route = flow.routes[strategy[flow_index]]
+        current_bonf = self.flow_bonf(strategy, flow_index, counts)
+        # Counts with this flow removed, to evaluate alternatives cleanly.
+        removed = dict(counts)
+        for link in current_route:
+            removed[link] -= 1
+        best_choice = None
+        best_bonf = current_bonf
+        for choice, route in enumerate(flow.routes):
+            if choice == strategy[flow_index]:
+                continue
+            bonf = min(
+                self.link_bonf(link, removed.get(link, 0) + 1) for link in route
+            )
+            if bonf - best_bonf > self.delta_bps:
+                best_bonf = bonf
+                best_choice = choice
+        return best_choice
+
+    def is_nash(self, strategy: Strategy) -> bool:
+        """No flow has a δ-improving unilateral deviation."""
+        return all(
+            self.best_response(strategy, i) is None for i in range(len(self.flows))
+        )
+
+    def enumerate_strategies(self) -> Iterator[Strategy]:
+        """Every pure strategy profile (exponential; tiny games only)."""
+        def rec(prefix: List[int], index: int) -> Iterator[Strategy]:
+            if index == len(self.flows):
+                yield tuple(prefix)
+                return
+            for choice in range(len(self.flows[index].routes)):
+                prefix.append(choice)
+                yield from rec(prefix, index + 1)
+                prefix.pop()
+
+        yield from rec([], 0)
+
+    def global_optimum(self) -> Strategy:
+        """The lexicographically smallest strategy (brute force).
+
+        Per Appendix B this strategy maximizes the minimum BoNF (or
+        minimizes the number of minimum-BoNF links) and is itself a Nash
+        equilibrium.
+        """
+        best = None
+        best_sv = None
+        for strategy in self.enumerate_strategies():
+            sv = self.state_vector(strategy)
+            if best_sv is None or compare_state_vectors(sv, best_sv) < 0:
+                best = strategy
+                best_sv = sv
+        return best
+
+
+def compare_state_vectors(a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+    """Appendix B's order: ``a < b`` iff some bucket K has fewer links in
+    ``a`` while no earlier (worse-BoNF) bucket has more.
+
+    Returns -1, 0, or 1. Note this partial order is implemented as the
+    plain lexicographic comparison after zero-padding to a common horizon,
+    which is the total order the convergence argument actually uses.
+    """
+    horizon = max(len(a), len(b))
+    pa = a + (0,) * (horizon - len(a))
+    pb = b + (0,) * (horizon - len(b))
+    if pa < pb:
+        return -1
+    if pa > pb:
+        return 1
+    return 0

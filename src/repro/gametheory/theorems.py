@@ -1,0 +1,152 @@
+"""Executable checks of the paper's two theorems.
+
+* **Theorem 1** (Appendix A): under max-min fair bandwidth allocation, the
+  global minimum BoNF lower-bounds the global minimum flow rate —
+  :func:`check_theorem1_bound` verifies it against the simulator's actual
+  allocator on any set of demands.
+* **Theorem 2** (Appendix B): asynchronous selfish moves converge to a
+  Nash equilibrium in finitely many steps —
+  :func:`run_best_response_dynamics` plays the dynamics and reports every
+  step together with the state-vector trajectory, letting tests assert
+  convergence, per-step progress, and the Nash property of the endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.simulator.maxmin import Demand, LinkId, maxmin_allocate
+from repro.gametheory.congestion_game import (
+    CongestionGame,
+    Strategy,
+    compare_state_vectors,
+)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Theorem1Report:
+    """Evidence for one instance of the Theorem 1 bound."""
+
+    min_flow_rate: float
+    min_bonf: float
+
+    @property
+    def holds(self) -> bool:
+        # Strict floating tolerance: the bound is >=.
+        return self.min_flow_rate >= self.min_bonf - 1e-6
+
+
+def check_theorem1_bound(
+    demands: Sequence[Demand], capacities: Dict[LinkId, float]
+) -> Theorem1Report:
+    """Allocate max-min fairly, then compare min rate against min BoNF."""
+    rates = maxmin_allocate(demands, capacities)
+    if not rates:
+        raise SimulationError("theorem 1 check needs at least one demand")
+    flow_counts: Dict[LinkId, int] = {}
+    for links, _ in demands:
+        for link in links:
+            flow_counts[link] = flow_counts.get(link, 0) + 1
+    min_bonf = min(
+        capacities[link] / count for link, count in flow_counts.items() if count > 0
+    )
+    return Theorem1Report(min_flow_rate=min(rates), min_bonf=min_bonf)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DynamicsStep:
+    """One selfish move in the best-response play."""
+
+    flow_index: int
+    from_route: int
+    to_route: int
+    bonf_before: float
+    bonf_after: float
+    sv_before: Tuple[int, ...]
+    sv_after: Tuple[int, ...]
+
+    @property
+    def sv_decreased(self) -> bool:
+        return compare_state_vectors(self.sv_after, self.sv_before) < 0
+
+
+@dataclass
+class DynamicsResult:
+    """Full trajectory of asynchronous best-response dynamics."""
+
+    initial: Strategy
+    final: Strategy
+    steps: List[DynamicsStep]
+    converged: bool
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+def run_best_response_dynamics(
+    game: CongestionGame,
+    strategy: Optional[Strategy] = None,
+    rng: Optional[np.random.Generator] = None,
+    max_steps: int = 100_000,
+) -> DynamicsResult:
+    """Play asynchronous selfish moves until no flow wants to deviate.
+
+    One flow moves at a time (the paper's no-synchronized-scheduling
+    assumption); move order is round-robin by default or randomized when
+    ``rng`` is given. Raises :class:`SimulationError` if ``max_steps`` is
+    exhausted — under Theorem 2 that should be unreachable.
+    """
+    current = game.initial_strategy() if strategy is None else tuple(strategy)
+    game.validate_strategy(current)
+    initial = current
+    steps: List[DynamicsStep] = []
+    n = len(game.flows)
+    while len(steps) < max_steps:
+        order = list(range(n))
+        if rng is not None:
+            rng.shuffle(order)
+        moved = False
+        for flow_index in order:
+            choice = game.best_response(current, flow_index)
+            if choice is None:
+                continue
+            sv_before = game.state_vector(current)
+            bonf_before = game.flow_bonf(current, flow_index)
+            updated = list(current)
+            updated[flow_index] = choice
+            updated_strategy = tuple(updated)
+            steps.append(
+                DynamicsStep(
+                    flow_index=flow_index,
+                    from_route=current[flow_index],
+                    to_route=choice,
+                    bonf_before=bonf_before,
+                    bonf_after=game.flow_bonf(updated_strategy, flow_index),
+                    sv_before=sv_before,
+                    sv_after=game.state_vector(updated_strategy),
+                )
+            )
+            current = updated_strategy
+            moved = True
+            if len(steps) >= max_steps:
+                break
+        if not moved:
+            return DynamicsResult(
+                initial=initial, final=current, steps=steps, converged=True
+            )
+    raise SimulationError(
+        f"best-response dynamics did not converge within {max_steps} steps"
+    )

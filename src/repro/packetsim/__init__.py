@@ -1,0 +1,23 @@
+"""Packet-level micro-simulator for cross-validating the fluid model.
+
+The main simulator (:mod:`repro.simulator`) is a fluid approximation of
+the paper's ns-2 setup; this package is the ground truth it is validated
+against on small scenarios: store-and-forward FIFO queues with
+serialization and propagation delay per link, and TCP Reno-style senders
+(slow start, congestion avoidance, triple-duplicate-ACK fast retransmit,
+coarse RTO) moving real packet sequences.
+
+It is deliberately small — single-digit flows, megabyte transfers — and
+exists to answer two questions the benchmarks rely on:
+
+* do fluid flow completion times track packet-level ones? (validation
+  bench: within tens of percent on every scenario checked), and
+* does striping one TCP flow across unequal-delay paths really cause
+  duplicate-ACK retransmissions? (the mechanism behind the TeXCP
+  comparison, Figs. 13-14).
+"""
+
+from repro.packetsim.simulator import PacketFlowResult, PacketSimulation
+from repro.packetsim.tcp import TcpParams
+
+__all__ = ["PacketFlowResult", "PacketSimulation", "TcpParams"]

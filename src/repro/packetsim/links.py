@@ -1,0 +1,95 @@
+"""Store-and-forward links with FIFO queues and tail drop."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.simulator.engine import EventEngine
+
+#: Default queue depth in packets. The paper sets ns-2 queues to the
+#: delay-bandwidth product; at 100 Mbps and sub-ms RTTs that is only a few
+#: packets, so we default deeper (a typical switch's per-port buffer) to
+#: keep TCP in its classic sawtooth rather than perpetually starved.
+DEFAULT_QUEUE_PACKETS = 100
+
+
+class PacketLink:
+    """One direction of a cable: serialization + FIFO queue + propagation.
+
+    ``transmit`` models a store-and-forward output port: the packet waits
+    for the port to drain (``busy_until``), occupies it for its
+    serialization time, then propagates. A packet arriving to a full queue
+    is dropped (tail drop) and the drop counter increments.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        capacity_bps: float,
+        delay_s: float,
+        queue_packets: int = DEFAULT_QUEUE_PACKETS,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity_bps}")
+        if delay_s < 0:
+            raise ConfigurationError(f"negative delay {delay_s}")
+        if queue_packets < 1:
+            raise ConfigurationError(f"queue must hold >= 1 packet, got {queue_packets}")
+        self.engine = engine
+        self.capacity_bps = capacity_bps
+        self.delay_s = delay_s
+        self.queue_packets = queue_packets
+        self.busy_until = 0.0
+        self.queued = 0
+        self.drops = 0
+        self.packets_sent = 0
+
+    def transmit(self, size_bytes: int, on_arrival: Callable[[], None]) -> bool:
+        """Enqueue a packet; returns False (and counts a drop) if full."""
+        now = self.engine.now
+        if self.busy_until <= now:
+            self.busy_until = now
+            self.queued = 0
+        if self.queued >= self.queue_packets:
+            self.drops += 1
+            return False
+        serialization = size_bytes * 8.0 / self.capacity_bps
+        departure = max(self.busy_until, now) + serialization
+        self.busy_until = departure
+        self.queued += 1
+        self.packets_sent += 1
+
+        def arrive() -> None:
+            self.queued = max(0, self.queued - 1)
+            on_arrival()
+
+        self.engine.schedule_at(departure + self.delay_s, arrive)
+        return True
+
+
+class LinkTable:
+    """Directed links for every cable of a topology, built lazily."""
+
+    def __init__(self, engine: EventEngine, topology, queue_packets: int) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.queue_packets = queue_packets
+        self._links: Dict[Tuple[str, str], PacketLink] = {}
+
+    def link(self, u: str, v: str) -> PacketLink:
+        """The directed packet link ``u -> v``, created on first use."""
+        key = (u, v)
+        existing = self._links.get(key)
+        if existing is not None:
+            return existing
+        cable = self.topology.link(u, v)
+        link = PacketLink(
+            self.engine, cable.bandwidth_bps, cable.delay_s, self.queue_packets
+        )
+        self._links[key] = link
+        return link
+
+    def total_drops(self) -> int:
+        """Tail drops across every instantiated link."""
+        return sum(link.drops for link in self._links.values())

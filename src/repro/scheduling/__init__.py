@@ -1,0 +1,12 @@
+"""Scheduler plug-in interface and shared scheduling utilities.
+
+Every flow-scheduling approach under comparison — ECMP, periodic VLB,
+Hedera's centralized scheduler, TeXCP, and DARD itself — implements
+:class:`Scheduler` over the same :class:`repro.simulator.network.Network`,
+so experiments differ *only* in scheduling policy.
+"""
+
+from repro.scheduling.base import Scheduler, SchedulerContext
+from repro.scheduling.messages import MessageLedger, MessageSizes
+
+__all__ = ["MessageLedger", "MessageSizes", "Scheduler", "SchedulerContext"]

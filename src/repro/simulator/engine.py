@@ -1,0 +1,105 @@
+"""Discrete-event engine: a time-ordered heap of callbacks.
+
+Cancellation is O(1) via handle invalidation: cancelled events stay in the
+heap and are skipped when popped. Ties break by schedule order, so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled event; call :meth:`cancel` to invalidate it."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Invalidate the event; it will be skipped when popped."""
+        self.cancelled = True
+        self.callback = None  # free references early
+
+
+class EventEngine:
+    """A classic event heap with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} before now={self.now}")
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._heap, (time, next(self._seq), handle))
+        return handle
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: Callable[[], float] = None,
+        start_delay: float = None,
+    ) -> None:
+        """Run ``callback`` periodically; ``jitter()`` adds to each interval.
+
+        This implements the paper's randomized control intervals (§3.1):
+        DARD schedules every 5 s *plus a uniform random 1-5 s* to prevent
+        synchronized path switching.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+
+        def fire() -> None:
+            callback()
+            delay = interval + (jitter() if jitter is not None else 0.0)
+            self.schedule_in(delay, fire)
+
+        first = start_delay if start_delay is not None else interval
+        first += jitter() if jitter is not None else 0.0
+        self.schedule_in(first, fire)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in order until the clock would pass ``end_time``."""
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            callback = handle.callback
+            handle.callback = None
+            self._events_processed += 1
+            callback()
+        self.now = max(self.now, end_time)
+
+    def run_until_idle(self, hard_limit: float = float("inf")) -> None:
+        """Drain every pending event, up to an optional time ``hard_limit``."""
+        while self._heap and self._heap[0][0] <= hard_limit:
+            self.run_until(self._heap[0][0])
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,139 @@
+"""Flow objects and completion records.
+
+A :class:`Flow` transfers a fixed number of bytes between two hosts. Its
+traffic is carried by one or more :class:`FlowComponent` s — (path, weight)
+pairs. Single-path schedulers (ECMP, VLB, Hedera, DARD) keep exactly one
+component and re-route by replacing it; TeXCP stripes a flow across several
+weighted components.
+
+The paper's elephant definition (§1) is a TCP connection lasting at least
+10 seconds; flows are *promoted* to elephant status at that age by the
+network, which is when DARD's detector first sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+#: Default elephant promotion age (seconds), per the paper.
+ELEPHANT_AGE_S = 10.0
+
+#: Bytes retransmitted per path switch: one congestion window of in-flight
+#: data is lost when the path changes mid-connection (~64 KB receive window).
+PATH_SWITCH_RETX_BYTES = 64_000
+
+
+@dataclass(frozen=True)
+class FlowComponent:
+    """One (path, weight) strand of a flow.
+
+    ``path`` is the full node path, hosts included. ``weight`` scales the
+    component's max-min share; weights across a flow's components need not
+    sum to anything in particular — only ratios matter to the allocator.
+    """
+
+    path: Tuple[str, ...]
+    weight: float = 1.0
+
+    def links(self) -> Tuple[Tuple[str, str], ...]:
+        """The directed links this component traverses."""
+        return tuple(zip(self.path, self.path[1:]))
+
+
+@dataclass
+class Flow:
+    """A live transfer. Mutable state is owned by the Network."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    start_time: float
+    components: List[FlowComponent]
+    remaining_bytes: float = field(init=False)
+    #: current per-component rates (bits/s), parallel to ``components``.
+    component_rates: List[float] = field(default_factory=list)
+    is_elephant: bool = False
+    path_switches: int = 0
+    #: distinct single-path routes this flow has used, in order — lets the
+    #: stability analysis detect A->B->A oscillation, which the paper
+    #: claims never happens ("no flow switches its paths back and forth").
+    path_history: List[Tuple[str, ...]] = field(default_factory=list)
+    retransmitted_bytes: float = 0.0
+    #: reordering-induced retransmission fraction of current goodput
+    #: (recomputed whenever components change; 0 for single-path flows).
+    reorder_retx_fraction: float = 0.0
+    end_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.remaining_bytes = float(self.size_bytes)
+        if not self.components:
+            raise SimulationError(f"flow {self.flow_id} has no components")
+        if self.src != self.components[0].path[0] or self.dst != self.components[0].path[-1]:
+            raise SimulationError(
+                f"flow {self.flow_id} endpoints ({self.src}, {self.dst}) do not match "
+                f"component path {self.components[0].path}"
+            )
+
+    @property
+    def rate_bps(self) -> float:
+        """Aggregate allocated rate across components."""
+        return sum(self.component_rates)
+
+    @property
+    def active(self) -> bool:
+        return self.end_time is None
+
+    def age(self, now: float) -> float:
+        """Seconds since the flow started."""
+        return now - self.start_time
+
+    def switch_path(self) -> Tuple[str, ...]:
+        """The single path of a single-component flow (scheduler convenience)."""
+        if len(self.components) != 1:
+            raise ValueError(f"flow {self.flow_id} is striped over {len(self.components)} paths")
+        return self.components[0].path
+
+    def retx_rate(self) -> float:
+        """Retransmitted bytes over unique bytes (the Fig. 14 metric)."""
+        if self.size_bytes <= 0:
+            return 0.0
+        return self.retransmitted_bytes / self.size_bytes
+
+    def path_revisits(self) -> int:
+        """How many route changes returned to a previously used path."""
+        revisits = 0
+        seen = set()
+        for path in self.path_history:
+            if path in seen:
+                revisits += 1
+            seen.add(path)
+        return revisits
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Immutable record of a finished flow, kept for metrics."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    start_time: float
+    end_time: float
+    path_switches: int
+    path_revisits: int
+    retransmitted_bytes: float
+    was_elephant: bool
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time (the paper's "file transfer time")."""
+        return self.end_time - self.start_time
+
+    @property
+    def retx_rate(self) -> float:
+        return self.retransmitted_bytes / self.size_bytes if self.size_bytes else 0.0

@@ -1,0 +1,127 @@
+"""Weighted max-min fair bandwidth allocation by progressive filling.
+
+Given demands (each a set of directed links plus a weight) and per-link
+capacities, progressively raise every unfrozen demand's rate in proportion
+to its weight until some link saturates; freeze the demands on that link and
+repeat. This is the textbook water-filling algorithm (Boudec's tutorial,
+paper reference [11]) and yields the unique weighted max-min allocation.
+
+Weights exist for TeXCP-style striping, where one agent deliberately sends
+unequal shares down different paths; every single-path scheduler uses
+weight 1.0.
+
+The implementation is vectorized over a sparse link x demand incidence
+matrix — the allocator runs after every flow arrival/completion/reroute,
+so it is the simulator's hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+#: A directed link identifier (u, v).
+LinkId = Tuple[str, str]
+
+#: One demand: the links it traverses and its weight.
+Demand = Tuple[Sequence[LinkId], float]
+
+_EPSILON = 1e-9
+
+
+def maxmin_allocate(
+    demands: Sequence[Demand],
+    capacities: Dict[LinkId, float],
+) -> List[float]:
+    """Rates (bits/s) for each demand under weighted max-min fairness.
+
+    Demands traversing no links are rejected — every real flow crosses at
+    least its host access link. Unknown links or non-positive capacities
+    and weights raise :class:`SimulationError`.
+    """
+    n = len(demands)
+    if n == 0:
+        return []
+
+    # Index the links actually in use; the demand/link scan below is O(nnz).
+    used_links: Dict[LinkId, int] = {}
+    demand_links: List[np.ndarray] = []
+    link_members: List[List[int]] = []
+    weights = np.empty(n, dtype=float)
+    for j, (links, weight) in enumerate(demands):
+        if not links:
+            raise SimulationError(f"demand {j} traverses no links")
+        if weight <= 0:
+            raise SimulationError(f"demand {j} has non-positive weight {weight}")
+        weights[j] = weight
+        indices = []
+        for link in links:
+            if link not in capacities:
+                raise SimulationError(f"demand {j} uses unknown link {link}")
+            index = used_links.get(link)
+            if index is None:
+                index = len(used_links)
+                used_links[link] = index
+                link_members.append([])
+            indices.append(index)
+            link_members[index].append(j)
+        demand_links.append(np.asarray(indices, dtype=np.intp))
+
+    num_links = len(used_links)
+    remaining = np.empty(num_links, dtype=float)
+    for link, index in used_links.items():
+        cap = capacities[link]
+        if cap <= 0:
+            raise SimulationError(f"link {link} in use has non-positive capacity {cap}")
+        remaining[index] = cap
+
+    live_weight = np.zeros(num_links, dtype=float)
+    for j, indices in enumerate(demand_links):
+        live_weight[indices] += weights[j]
+
+    rates = np.zeros(n, dtype=float)
+    active = np.ones(n, dtype=bool)
+    unfrozen = n
+
+    # Progressive filling: each iteration vectorizes the bottleneck search
+    # (O(L) numpy); each demand is frozen exactly once, so the per-demand
+    # update work totals O(nnz) across the whole call.
+    while unfrozen > 0:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(live_weight > _EPSILON, remaining / live_weight, np.inf)
+        bottleneck = int(np.argmin(share))
+        best_share = share[bottleneck]
+        if not np.isfinite(best_share):
+            raise SimulationError("no bottleneck found with demands outstanding")
+        best_share = max(float(best_share), 0.0)
+        for j in link_members[bottleneck]:
+            if not active[j]:
+                continue
+            rate = weights[j] * best_share
+            rates[j] = rate
+            active[j] = False
+            unfrozen -= 1
+            indices = demand_links[j]
+            remaining[indices] -= rate
+            live_weight[indices] -= weights[j]
+        remaining[bottleneck] = 0.0
+        live_weight[bottleneck] = 0.0
+        np.maximum(remaining, 0.0, out=remaining)
+
+    return rates.tolist()
+
+
+def link_utilizations(
+    demands: Sequence[Demand],
+    rates: Sequence[float],
+    capacities: Dict[LinkId, float],
+) -> Dict[LinkId, float]:
+    """Per-link utilization in [0, 1] given an allocation."""
+    load: Dict[LinkId, float] = {}
+    for (links, _), rate in zip(demands, rates):
+        for link in links:
+            load[link] = load.get(link, 0.0) + rate
+    return {link: total / capacities[link] for link, total in load.items()}

@@ -1,0 +1,484 @@
+"""The live network: topology + flows + fair-share dynamics + events.
+
+``Network`` owns all mutable simulation state. Schedulers interact with it
+through four surfaces:
+
+* **flow placement** — :meth:`start_flow` with the components they chose;
+* **re-routing** — :meth:`reroute_flow` (DARD's address-pair swap, VLB's
+  periodic re-pick, Hedera's table update all reduce to this);
+* **notifications** — ``on_flow_started`` / ``on_elephant_promoted`` /
+  ``on_flow_completed`` listener hooks;
+* **state queries** — :meth:`link_state`, the OpenFlow aggregate-statistics
+  API DARD's monitors poll (bandwidth and elephant count per egress port).
+
+Rate dynamics: after any membership change the weighted max-min allocation
+is recomputed once (changes at the same instant are coalesced through a
+zero-delay event) and the next completion event is rescheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.logging import get_logger
+from repro.topology.multirooted import MultiRootedTopology
+from repro.simulator.engine import EventEngine, EventHandle
+from repro.simulator.flows import (
+    ELEPHANT_AGE_S,
+    PATH_SWITCH_RETX_BYTES,
+    Flow,
+    FlowComponent,
+    FlowRecord,
+)
+from repro.simulator.maxmin import LinkId, maxmin_allocate
+from repro.simulator.reordering import reordering_retx_fraction
+
+_BYTES_EPSILON = 1.0  # flows within one byte of done are done
+
+Listener = Callable[[Flow], None]
+
+logger = get_logger("simulator.network")
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """What a switch reports for one egress port (paper §2.4).
+
+    ``bonf`` is the link Bandwidth over the Number of elephant Flows;
+    infinite when the link carries no elephants ("if a link has no flow,
+    its BoNF is infinity", §2.2) and zero when the link is down — a dead
+    link must look maximally congested, never attractive.
+    """
+
+    bandwidth_bps: float
+    elephant_flows: int
+    total_flows: int
+
+    @property
+    def bonf(self) -> float:
+        if self.bandwidth_bps <= 0:
+            return 0.0
+        if self.elephant_flows == 0:
+            return float("inf")
+        return self.bandwidth_bps / self.elephant_flows
+
+
+class Network:
+    """Discrete-event fluid network simulation over a multi-rooted topology."""
+
+    def __init__(
+        self,
+        topology: MultiRootedTopology,
+        engine: Optional[EventEngine] = None,
+        elephant_age_s: float = ELEPHANT_AGE_S,
+        path_switch_retx_bytes: float = PATH_SWITCH_RETX_BYTES,
+        model_reordering: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine if engine is not None else EventEngine()
+        self.elephant_age_s = elephant_age_s
+        self.path_switch_retx_bytes = path_switch_retx_bytes
+        self.model_reordering = model_reordering
+
+        self.capacities: Dict[LinkId, float] = {}
+        self.link_delays: Dict[LinkId, float] = {}
+        for u, v in topology.directed_links():
+            link = topology.link(u, v)
+            self.capacities[(u, v)] = link.bandwidth_bps
+            self.link_delays[(u, v)] = link.delay_s
+
+        self.flows: Dict[int, Flow] = {}
+        self.records: List[FlowRecord] = []
+        self._next_flow_id = 0
+        self._last_settle = 0.0
+        self._realloc_pending = False
+        self._completion_handle: Optional[EventHandle] = None
+        self._link_elephants: Dict[LinkId, int] = {}
+        self._link_total: Dict[LinkId, int] = {}
+        self._link_utils: Dict[LinkId, float] = {}
+
+        self.flow_started_listeners: List[Listener] = []
+        self.elephant_listeners: List[Listener] = []
+        self.flow_completed_listeners: List[Listener] = []
+
+        #: highest number of simultaneously live elephants seen (Fig. 15's
+        #: "peak number of elephant flows" axis).
+        self.peak_elephants = 0
+        self._current_elephants = 0
+
+        #: cables currently down (both directions); see :meth:`fail_link`.
+        self.failed_links: set = set()
+        self.link_failed_listeners: List[Callable[[str, str], None]] = []
+        self.link_restored_listeners: List[Callable[[str, str], None]] = []
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- flow lifecycle -------------------------------------------------------
+
+    def start_flow(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        components: Sequence[FlowComponent],
+    ) -> Flow:
+        """Begin a transfer using the scheduler-chosen path component(s)."""
+        if size_bytes <= 0:
+            raise SimulationError(f"flow size must be positive, got {size_bytes}")
+        self._settle()
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            src=src,
+            dst=dst,
+            size_bytes=float(size_bytes),
+            start_time=self.now,
+            components=list(components),
+        )
+        self._next_flow_id += 1
+        self._validate_components(flow)
+        flow.component_rates = [0.0] * len(flow.components)
+        if len(flow.components) == 1:
+            flow.path_history.append(flow.components[0].path)
+        self.flows[flow.flow_id] = flow
+        self._adjust_link_counts(flow, +1)
+        self.engine.schedule_in(
+            self.elephant_age_s, lambda fid=flow.flow_id: self._promote_elephant(fid)
+        )
+        for listener in self.flow_started_listeners:
+            listener(flow)
+        self._request_realloc()
+        return flow
+
+    def reroute_flow(
+        self,
+        flow: Flow,
+        components: Sequence[FlowComponent],
+        count_switch: bool = True,
+        retx_penalty: bool = True,
+    ) -> None:
+        """Replace a flow's path component(s).
+
+        ``count_switch`` increments the paper's path-switch statistic;
+        ``retx_penalty`` charges one congestion window of retransmission
+        (disabled for control actions that are pure weight adjustments on
+        unchanged paths, e.g. TeXCP rebalancing).
+        """
+        if not flow.active:
+            raise SimulationError(f"cannot reroute finished flow {flow.flow_id}")
+        self._settle()
+        self._adjust_link_counts(flow, -1)
+        flow.components = list(components)
+        self._validate_components(flow)
+        flow.component_rates = [0.0] * len(flow.components)
+        self._adjust_link_counts(flow, +1)
+        if count_switch:
+            flow.path_switches += 1
+            if len(flow.components) == 1:
+                flow.path_history.append(flow.components[0].path)
+        if retx_penalty and self.path_switch_retx_bytes > 0:
+            penalty = min(self.path_switch_retx_bytes, flow.remaining_bytes)
+            flow.retransmitted_bytes += penalty
+            flow.remaining_bytes += penalty
+        self._request_realloc()
+
+    def active_flows(self) -> List[Flow]:
+        """All currently live flows."""
+        return list(self.flows.values())
+
+    def active_elephants(self) -> List[Flow]:
+        """Live flows already promoted to elephant status."""
+        return [f for f in self.flows.values() if f.is_elephant]
+
+    # -- failure injection -------------------------------------------------------
+
+    def link_is_up(self, u: str, v: str) -> bool:
+        """Whether the directed link ``u -> v`` is currently usable."""
+        if (u, v) not in self.capacities:
+            raise SimulationError(f"no such directed link {(u, v)}")
+        return (u, v) not in self.failed_links
+
+    def path_alive(self, path: Sequence[str]) -> bool:
+        """Whether every hop of a node path is up."""
+        return all(self.link_is_up(a, b) for a, b in zip(path, path[1:]))
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Take the cable between ``u`` and ``v`` down (both directions).
+
+        Flows whose every component crosses the dead cable stall at zero
+        rate until some scheduler moves them — exactly what a silent
+        physical failure does to traffic pinned by static tables.
+        """
+        for key in ((u, v), (v, u)):
+            if key not in self.capacities:
+                raise SimulationError(f"no such directed link {key}")
+        if (u, v) in self.failed_links:
+            return
+        self._settle()
+        logger.info("t=%.2f link %s <-> %s failed", self.now, u, v)
+        self.failed_links.add((u, v))
+        self.failed_links.add((v, u))
+        # Reallocate synchronously: a dead cable must carry nothing from
+        # this instant, not from the next event-loop turn.
+        self._reallocate()
+        for listener in self.link_failed_listeners:
+            listener(u, v)
+
+    def restore_link(self, u: str, v: str) -> None:
+        """Bring a failed cable back into service."""
+        if (u, v) not in self.failed_links:
+            return
+        self._settle()
+        logger.info("t=%.2f link %s <-> %s restored", self.now, u, v)
+        self.failed_links.discard((u, v))
+        self.failed_links.discard((v, u))
+        self._reallocate()
+        for listener in self.link_restored_listeners:
+            listener(u, v)
+
+    # -- switch state query API (what DARD monitors poll) ----------------------
+
+    def link_state(self, u: str, v: str) -> LinkState:
+        """State of the directed link (egress port) ``u -> v``.
+
+        A failed link reports zero bandwidth, which monitors fold into a
+        zero BoNF — failure detection needs no extra machinery beyond the
+        state DARD already polls.
+        """
+        key = (u, v)
+        if key not in self.capacities:
+            raise SimulationError(f"no such directed link {key}")
+        bandwidth = 0.0 if key in self.failed_links else self.capacities[key]
+        return LinkState(
+            bandwidth_bps=bandwidth,
+            elephant_flows=self._link_elephants.get(key, 0),
+            total_flows=self._link_total.get(key, 0),
+        )
+
+    def path_state(self, path: Sequence[str], skip_host_links: bool = True) -> LinkState:
+        """The most-congested-link state along a node path (paper §2.5).
+
+        ``skip_host_links`` drops the first/last host-switch hop — a flow
+        cannot route around those, so DARD excludes them from BoNF (§2.2).
+        """
+        links = list(zip(path, path[1:]))
+        if skip_host_links:
+            links = [
+                (u, v)
+                for u, v in links
+                if self.topology.node(u).kind.is_switch and self.topology.node(v).kind.is_switch
+            ]
+        if not links:
+            raise SimulationError(f"path {path!r} has no switch-switch links")
+        return min(
+            (self.link_state(u, v) for u, v in links),
+            key=lambda state: state.bonf,
+        )
+
+    def utilization(self, u: str, v: str) -> float:
+        """Most recent allocated utilization of the directed link ``u -> v``."""
+        return self._link_utils.get((u, v), 0.0)
+
+    # -- self-checks --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the simulation's global invariants; raises on violation.
+
+        Intended for debugging user extensions (custom schedulers,
+        handwritten event sequences): call at any quiescent point. Checks
+
+        * link flow-counters match a from-scratch recount,
+        * no link is allocated beyond capacity,
+        * failed links carry no allocated rate,
+        * per-flow byte accounting is sane.
+        """
+        expected_total: Dict[LinkId, int] = {}
+        expected_eleph: Dict[LinkId, int] = {}
+        load: Dict[LinkId, float] = {}
+        for flow in self.flows.values():
+            seen = set()
+            for component, rate in zip(flow.components, flow.component_rates):
+                for link in component.links():
+                    load[link] = load.get(link, 0.0) + rate
+                    if link in seen:
+                        continue
+                    seen.add(link)
+                    expected_total[link] = expected_total.get(link, 0) + 1
+                    if flow.is_elephant:
+                        expected_eleph[link] = expected_eleph.get(link, 0) + 1
+        for link, count in self._link_total.items():
+            if count != expected_total.get(link, 0):
+                raise SimulationError(
+                    f"link {link} total-flow counter {count} != recount "
+                    f"{expected_total.get(link, 0)}"
+                )
+        for link, count in self._link_elephants.items():
+            if count != expected_eleph.get(link, 0):
+                raise SimulationError(
+                    f"link {link} elephant counter {count} != recount "
+                    f"{expected_eleph.get(link, 0)}"
+                )
+        for link, total in load.items():
+            if total > self.capacities[link] * (1 + 1e-6):
+                raise SimulationError(
+                    f"link {link} allocated {total} over capacity {self.capacities[link]}"
+                )
+            if link in self.failed_links and total > 0:
+                raise SimulationError(f"failed link {link} carries rate {total}")
+        for flow in self.flows.values():
+            if flow.remaining_bytes < 0:
+                raise SimulationError(f"flow {flow.flow_id} has negative remaining bytes")
+            if flow.remaining_bytes > flow.size_bytes + flow.retransmitted_bytes + 1.0:
+                raise SimulationError(
+                    f"flow {flow.flow_id} remaining {flow.remaining_bytes} exceeds "
+                    f"size+retx {flow.size_bytes + flow.retransmitted_bytes}"
+                )
+
+    # -- internals --------------------------------------------------------------
+
+    def _validate_components(self, flow: Flow) -> None:
+        for component in flow.components:
+            if component.path[0] != flow.src or component.path[-1] != flow.dst:
+                raise SimulationError(
+                    f"component path {component.path!r} does not connect "
+                    f"{flow.src!r} to {flow.dst!r}"
+                )
+            for link in component.links():
+                if link not in self.capacities:
+                    raise SimulationError(f"component uses unknown link {link}")
+
+    def _adjust_link_counts(self, flow: Flow, delta: int) -> None:
+        seen: set = set()
+        for component in flow.components:
+            for link in component.links():
+                if link in seen:
+                    continue
+                seen.add(link)
+                self._link_total[link] = self._link_total.get(link, 0) + delta
+                if flow.is_elephant:
+                    self._link_elephants[link] = self._link_elephants.get(link, 0) + delta
+
+    def _promote_elephant(self, flow_id: int) -> None:
+        flow = self.flows.get(flow_id)
+        if flow is None or flow.is_elephant:
+            return
+        # Temporarily remove, flip, re-add so elephant counters stay exact.
+        self._adjust_link_counts(flow, -1)
+        flow.is_elephant = True
+        self._adjust_link_counts(flow, +1)
+        self._current_elephants += 1
+        self.peak_elephants = max(self.peak_elephants, self._current_elephants)
+        for listener in self.elephant_listeners:
+            listener(flow)
+
+    def _settle(self) -> None:
+        """Advance byte counters from the last settle point to now."""
+        dt = self.now - self._last_settle
+        if dt < 0:
+            raise SimulationError("time went backwards")
+        if dt > 0:
+            for flow in self.flows.values():
+                delivered_bits = flow.rate_bps * dt
+                if delivered_bits <= 0:
+                    continue
+                delivered_bytes = delivered_bits / 8.0
+                wasted = delivered_bytes * flow.reorder_retx_fraction
+                flow.remaining_bytes = max(0.0, flow.remaining_bytes - (delivered_bytes - wasted))
+                flow.retransmitted_bytes += wasted
+        self._last_settle = self.now
+
+    def _request_realloc(self) -> None:
+        if self._realloc_pending:
+            return
+        self._realloc_pending = True
+        self.engine.schedule_in(0.0, self._reallocate)
+
+    def _reallocate(self) -> None:
+        self._realloc_pending = False
+        self._settle()
+        flows = list(self.flows.values())
+        demands = []
+        owners: List[Tuple[Flow, int]] = []
+        for flow in flows:
+            for idx, component in enumerate(flow.components):
+                links = component.links()
+                if self.failed_links and any(l in self.failed_links for l in links):
+                    continue  # dead component: carries nothing until rerouted
+                demands.append((links, component.weight))
+                owners.append((flow, idx))
+        rates = maxmin_allocate(demands, self.capacities) if demands else []
+        for flow in flows:
+            flow.component_rates = [0.0] * len(flow.components)
+        load: Dict[LinkId, float] = {}
+        for (flow, idx), rate, (links, _) in zip(owners, rates, demands):
+            flow.component_rates[idx] = rate
+            for link in links:
+                load[link] = load.get(link, 0.0) + rate
+        self._link_utils = {
+            link: total / self.capacities[link] for link, total in load.items()
+        }
+        if self.model_reordering:
+            for flow in flows:
+                if len(flow.components) > 1:
+                    flow.reorder_retx_fraction = reordering_retx_fraction(
+                        flow.components,
+                        flow.component_rates,
+                        self.link_delays,
+                        self._link_utils,
+                    )
+                else:
+                    flow.reorder_retx_fraction = 0.0
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        soonest = float("inf")
+        for flow in self.flows.values():
+            goodput_bps = flow.rate_bps * (1.0 - flow.reorder_retx_fraction)
+            if goodput_bps <= 0:
+                continue
+            eta = (flow.remaining_bytes * 8.0) / goodput_bps
+            soonest = min(soonest, eta)
+        if soonest < float("inf"):
+            self._completion_handle = self.engine.schedule_in(
+                max(soonest, 0.0), self._on_completion_event
+            )
+
+    def _on_completion_event(self) -> None:
+        self._completion_handle = None
+        self._settle()
+        finished = [f for f in self.flows.values() if f.remaining_bytes <= _BYTES_EPSILON]
+        if not finished:
+            # Rates changed under us; just reschedule.
+            self._schedule_next_completion()
+            return
+        for flow in finished:
+            flow.end_time = self.now
+            self._adjust_link_counts(flow, -1)
+            if flow.is_elephant:
+                self._current_elephants -= 1
+            del self.flows[flow.flow_id]
+            self.records.append(
+                FlowRecord(
+                    flow_id=flow.flow_id,
+                    src=flow.src,
+                    dst=flow.dst,
+                    size_bytes=flow.size_bytes,
+                    start_time=flow.start_time,
+                    end_time=flow.end_time,
+                    path_switches=flow.path_switches,
+                    path_revisits=flow.path_revisits(),
+                    retransmitted_bytes=flow.retransmitted_bytes,
+                    was_elephant=flow.is_elephant,
+                )
+            )
+            for listener in self.flow_completed_listeners:
+                listener(flow)
+        self._request_realloc()

@@ -1,0 +1,32 @@
+"""OpenFlow-style switch substrate.
+
+Switches hold two static longest-prefix-match tables (paper §2.3): a
+*downhill* table of prefixes allocated to downstream branches (checked
+first, like the higher-priority OpenFlow table the prototype installs) and
+an *uphill* table of prefixes allocated from upstream cores. Tables are
+written exactly once, at fabric construction time — DARD never touches them
+again; all adaptivity lives in the end hosts' choice of address pair.
+
+The fabric also exposes the switch *state query* API DARD's monitors use:
+per egress port, the link bandwidth and the current number of elephant
+flows (served by the live :class:`repro.simulator.network.Network` via a
+pluggable provider).
+"""
+
+from repro.switches.flowtable import FlowTable, TableEntry
+from repro.switches.switch import Switch, SwitchFabric
+from repro.switches.verification import (
+    VerificationReport,
+    audit_table_sizes,
+    verify_fabric,
+)
+
+__all__ = [
+    "FlowTable",
+    "Switch",
+    "SwitchFabric",
+    "TableEntry",
+    "VerificationReport",
+    "audit_table_sizes",
+    "verify_fabric",
+]

@@ -1,0 +1,62 @@
+"""Longest-prefix-match flow tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import RoutingError
+from repro.addressing.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One forwarding rule: packets matching ``prefix`` exit via ``port``."""
+
+    prefix: Prefix
+    port: int
+
+
+class FlowTable:
+    """A longest-prefix-match table.
+
+    Entries are grouped by prefix length so a lookup probes at most one
+    candidate per distinct length, longest first — adequate for the handful
+    of lengths a DARD fabric ever installs.
+    """
+
+    def __init__(self) -> None:
+        self._by_length: Dict[int, Dict[int, int]] = {}
+        self._entries: List[TableEntry] = []
+
+    def add(self, prefix: Prefix, port: int) -> None:
+        """Install a rule; duplicate prefixes with conflicting ports are errors."""
+        bucket = self._by_length.setdefault(prefix.length, {})
+        existing = bucket.get(prefix.value)
+        if existing is not None:
+            if existing != port:
+                raise RoutingError(
+                    f"conflicting entries for {prefix}: ports {existing} and {port}"
+                )
+            return
+        bucket[prefix.value] = port
+        self._entries.append(TableEntry(prefix, port))
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """The egress port for ``addr``, or ``None`` if nothing matches."""
+        for length in sorted(self._by_length, reverse=True):
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            port = self._by_length[length].get(addr & mask)
+            if port is not None:
+                return port
+        return None
+
+    def entries(self) -> List[TableEntry]:
+        """All rules, sorted by (length desc, value) for stable rendering."""
+        return sorted(self._entries, key=lambda e: (-e.prefix.length, e.prefix.value))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self._by_length.get(prefix.length, {}).get(prefix.value) is not None

@@ -1,0 +1,49 @@
+"""Datacenter topology substrate.
+
+Provides the graph core plus the three topology families the paper evaluates
+on: fat-tree (Al-Fares et al.), Clos/VL2 (Greenberg et al.), and the
+oversubscribed 8-core 3-tier design (Cisco reference architecture).
+
+All three are *multi-rooted trees* with exactly three switch layers
+(ToR/access, aggregation, core/intermediate); :class:`MultiRootedTopology`
+captures that shared structure and provides equal-cost path enumeration and
+the downhill-chain inventory the addressing subsystem allocates prefixes
+along.
+"""
+
+from repro.topology.clos import ClosNetwork
+from repro.topology.custom import CustomTopology, TopologySpec, build_custom
+from repro.topology.fattree import FatTree
+from repro.topology.graph import Link, Node, NodeKind, Topology
+from repro.topology.multirooted import MultiRootedTopology
+from repro.topology.threetier import ThreeTier
+
+__all__ = [
+    "ClosNetwork",
+    "CustomTopology",
+    "FatTree",
+    "Link",
+    "Node",
+    "NodeKind",
+    "Topology",
+    "TopologySpec",
+    "MultiRootedTopology",
+    "ThreeTier",
+    "build_custom",
+]
+
+
+def build_topology(kind: str, **kwargs) -> MultiRootedTopology:
+    """Construct a topology by family name.
+
+    ``kind`` is one of ``"fattree"``, ``"clos"``, or ``"threetier"``;
+    keyword arguments are forwarded to the corresponding constructor.
+    """
+    factories = {
+        "fattree": FatTree,
+        "clos": ClosNetwork,
+        "threetier": ThreeTier,
+    }
+    if kind not in factories:
+        raise ValueError(f"unknown topology kind {kind!r}; expected one of {sorted(factories)}")
+    return factories[kind](**kwargs)

@@ -1,0 +1,78 @@
+"""Fat-tree topology (Al-Fares et al., SIGCOMM 2008).
+
+A ``p``-pod fat-tree built from ``p``-port switches:
+
+* ``p`` pods, each with ``p/2`` ToR and ``p/2`` aggregation switches;
+* ``(p/2)^2`` core switches; core ``(i, j)`` connects to aggregation
+  switch ``i`` of every pod;
+* each ToR serves ``p/2`` hosts, for ``p^3/4`` hosts total.
+
+Any inter-pod host pair has exactly ``p^2/4`` equal-cost paths, one per
+core; intra-pod pairs have ``p/2`` paths, one per aggregation switch.
+
+Node naming: ``core_{i}_{j}``, ``agg_{pod}_{i}``, ``tor_{pod}_{i}``,
+``h_{pod}_{tor}_{k}``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TopologyError
+from repro.common.units import GBPS
+from repro.topology.graph import Node, NodeKind
+from repro.topology.multirooted import MultiRootedTopology
+
+
+class FatTree(MultiRootedTopology):
+    """A ``p``-pod fat-tree with uniform link bandwidth (1 Gbps default)."""
+
+    def __init__(
+        self,
+        p: int = 4,
+        link_bandwidth_bps: float = GBPS,
+        host_bandwidth_bps: float = None,
+        link_delay_s: float = 0.0001,
+    ) -> None:
+        if p < 2 or p % 2 != 0:
+            raise TopologyError(f"fat-tree pod count must be a positive even number, got {p}")
+        super().__init__()
+        self.p = p
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self.host_bandwidth_bps = (
+            host_bandwidth_bps if host_bandwidth_bps is not None else link_bandwidth_bps
+        )
+        self._build(link_delay_s)
+        self.validate()
+
+    @property
+    def radix(self) -> int:
+        """Switch port count (equals the pod count in a fat-tree)."""
+        return self.p
+
+    @property
+    def paths_per_inter_pod_pair(self) -> int:
+        return (self.p // 2) ** 2
+
+    def _build(self, delay: float) -> None:
+        half = self.p // 2
+        for i in range(half):
+            for j in range(half):
+                self.add_node(Node(f"core_{i}_{j}", NodeKind.CORE, pod=None, index=i * half + j))
+        for pod in range(self.p):
+            for i in range(half):
+                self.add_node(Node(f"agg_{pod}_{i}", NodeKind.AGG, pod=pod, index=i))
+                self.add_node(Node(f"tor_{pod}_{i}", NodeKind.TOR, pod=pod, index=i))
+            for i in range(half):
+                for j in range(half):
+                    self.add_link(f"agg_{pod}_{i}", f"tor_{pod}_{j}", self.link_bandwidth_bps, delay)
+            for t in range(half):
+                for k in range(half):
+                    host = f"h_{pod}_{t}_{k}"
+                    self.add_node(Node(host, NodeKind.HOST, pod=pod, index=t * half + k))
+                    self.add_link(host, f"tor_{pod}_{t}", self.host_bandwidth_bps, delay)
+        for i in range(half):
+            for j in range(half):
+                for pod in range(self.p):
+                    self.add_link(f"core_{i}_{j}", f"agg_{pod}_{i}", self.link_bandwidth_bps, delay)
+
+    def __repr__(self) -> str:
+        return f"FatTree(p={self.p}, hosts={len(self.hosts())})"

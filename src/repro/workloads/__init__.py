@@ -1,0 +1,55 @@
+"""Traffic patterns and arrival processes (paper §4.1).
+
+Three synthetic patterns, straight from the paper (which takes them from
+the fat-tree paper because commercial traces were unavailable):
+
+* ``random`` — destination uniform over all other hosts;
+* ``staggered(ToRP, PodP)`` — same-ToR with probability ToRP (0.5), same
+  pod with PodP (0.3), otherwise a different pod;
+* ``stride(step)`` — host ``x`` always sends to host ``(x + step) mod N``,
+  with ``step`` chosen to force every flow across pods.
+
+Each source host generates elephant flows (128 MB FTP transfers) with
+exponentially distributed inter-arrival times.
+"""
+
+from repro.workloads.composite import (
+    CompositePattern,
+    LoadPhase,
+    LoadProfile,
+    ModulatedArrivalProcess,
+)
+from repro.workloads.generator import ArrivalProcess, WorkloadSpec
+from repro.workloads.patterns import (
+    RandomPattern,
+    StaggeredPattern,
+    StridePattern,
+    TrafficPattern,
+    make_pattern,
+)
+from repro.workloads.trace import (
+    TraceEntry,
+    TraceRecorder,
+    TraceReplay,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "CompositePattern",
+    "LoadPhase",
+    "LoadProfile",
+    "ModulatedArrivalProcess",
+    "RandomPattern",
+    "StaggeredPattern",
+    "StridePattern",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceReplay",
+    "TrafficPattern",
+    "WorkloadSpec",
+    "load_trace",
+    "make_pattern",
+    "save_trace",
+]

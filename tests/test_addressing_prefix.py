@@ -1,0 +1,125 @@
+"""Tests for prefixes, addresses, and the paper's decimal notation."""
+
+import pytest
+
+from repro.common.errors import AddressingError
+from repro.addressing.prefix import Prefix, format_address, parse_address
+
+
+class TestAddressFormatting:
+    def test_round_trip(self):
+        for text in ["10.0.0.0", "10.4.16.0", "255.255.255.255", "0.0.0.0"]:
+            assert format_address(parse_address(text)) == text
+
+    def test_parse_rejects_malformed(self):
+        for bad in ["10.0.0", "10.0.0.0.0", "10.0.0.x", "10.0.0.300"]:
+            with pytest.raises(AddressingError):
+                parse_address(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(AddressingError):
+            format_address(1 << 32)
+        with pytest.raises(AddressingError):
+            format_address(-1)
+
+
+class TestPrefixBasics:
+    def test_parse_and_str(self):
+        pfx = Prefix.parse("10.4.0.0/14")
+        assert str(pfx) == "10.4.0.0/14"
+        assert pfx.length == 14
+
+    def test_nonzero_host_bits_rejected(self):
+        with pytest.raises(AddressingError):
+            Prefix(parse_address("10.0.0.1"), 8)
+
+    def test_length_bounds(self):
+        with pytest.raises(AddressingError):
+            Prefix(0, 33)
+        with pytest.raises(AddressingError):
+            Prefix(0, -1)
+
+    def test_malformed_parse(self):
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0")
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0/x")
+
+
+class TestSubdivision:
+    def test_paper_example_core_prefix(self):
+        """Paper Figure 2: core_1 gets 10.4.0.0/14 under 6-bit levels."""
+        base = Prefix.parse("10.0.0.0/8")
+        assert str(base.subdivide(1, 6)) == "10.4.0.0/14"
+
+    def test_paper_example_subtree_prefixes(self):
+        """core_1's children get 10.4.16.0/20 and 10.4.32.0/20."""
+        core = Prefix.parse("10.4.0.0/14")
+        assert str(core.subdivide(1, 6)) == "10.4.16.0/20"
+        assert str(core.subdivide(2, 6)) == "10.4.32.0/20"
+
+    def test_paper_example_tor_prefixes(self):
+        """aggr_1's children include 10.4.16.64/26 and 10.4.16.128/26."""
+        agg = Prefix.parse("10.4.16.0/20")
+        assert str(agg.subdivide(1, 6)) == "10.4.16.64/26"
+        assert str(agg.subdivide(2, 6)) == "10.4.16.128/26"
+
+    def test_children_disjoint_and_contained(self):
+        base = Prefix.parse("10.0.0.0/8")
+        kids = [base.subdivide(i, 4) for i in range(16)]
+        for i, a in enumerate(kids):
+            assert base.contains_prefix(a)
+            for b in kids[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0/8").subdivide(64, 6)
+
+    def test_cannot_exceed_32_bits(self):
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0/30").subdivide(0, 6)
+
+    def test_zero_child_bits_rejected(self):
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0/8").subdivide(0, 0)
+
+
+class TestContainment:
+    def test_contains_address(self):
+        pfx = Prefix.parse("10.4.0.0/14")
+        assert pfx.contains_address(parse_address("10.4.16.2"))
+        assert not pfx.contains_address(parse_address("10.8.0.1"))
+
+    def test_contains_prefix_is_not_symmetric(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.4.0.0/14")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+
+    def test_address_indexing(self):
+        pfx = Prefix.parse("10.4.16.64/26")
+        assert format_address(pfx.address(2)) == "10.4.16.66"
+        with pytest.raises(AddressingError):
+            pfx.address(64)
+
+
+class TestDecimalGroups:
+    def test_paper_notation(self):
+        """Address 10.4.16.66 renders as (10, 1, 1, 1, 2) in 6-bit groups:
+        the paper's (core, port_core, port_aggr, host) decimal notation."""
+        pfx = Prefix(parse_address("10.4.16.64"), 32)
+        assert pfx.decimal_groups() == (10, 1, 1, 1, 0)
+
+    def test_prefix_notation(self):
+        assert Prefix.parse("10.4.16.0/20").decimal_groups() == (10, 1, 1, 0, 0)
+
+    def test_incompatible_group_width_rejected(self):
+        with pytest.raises(AddressingError):
+            Prefix.parse("10.0.0.0/8").decimal_groups(bits_per_group=7)
+
+    def test_ordering_is_total(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.4.0.0/14")
+        assert a < b  # dataclass order: by (value, length)

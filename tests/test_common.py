@@ -1,0 +1,90 @@
+"""Tests for repro.common: units, RNG streams, errors."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    GBPS,
+    MB,
+    MBPS,
+    AddressingError,
+    ReproError,
+    RngStreams,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    bytes_to_bits,
+    mbps,
+    seconds_to_transfer,
+)
+
+
+class TestUnits:
+    def test_mbps_conversion(self):
+        assert mbps(100 * MBPS) == 100.0
+
+    def test_gbps_is_thousand_mbps(self):
+        assert GBPS == 1000 * MBPS
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1) == 8.0
+        assert bytes_to_bits(128 * MB) == 128 * MB * 8
+
+    def test_transfer_time_128mb_at_100mbps(self):
+        # The paper's testbed case: one 128 MB file on a 100 Mbps link.
+        assert seconds_to_transfer(128 * MB, 100 * MBPS) == pytest.approx(10.24)
+
+    def test_transfer_time_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            seconds_to_transfer(1 * MB, 0.0)
+
+    def test_transfer_time_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            seconds_to_transfer(1 * MB, -5.0)
+
+
+class TestRngStreams:
+    def test_same_name_same_generator_object(self):
+        rngs = RngStreams(7)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_different_names_are_independent(self):
+        rngs = RngStreams(7)
+        a_first = rngs.stream("a").random(5).tolist()
+        rngs2 = RngStreams(7)
+        rngs2.stream("b").random(100)  # drain an unrelated stream
+        assert rngs2.stream("a").random(5).tolist() == a_first
+
+    def test_reproducible_across_instances(self):
+        assert (
+            RngStreams(3).stream("x").integers(0, 1000, 10).tolist()
+            == RngStreams(3).stream("x").integers(0, 1000, 10).tolist()
+        )
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(8)
+        b = RngStreams(2).stream("x").random(8)
+        assert not np.allclose(a, b)
+
+    def test_spawn_creates_independent_child(self):
+        parent = RngStreams(5)
+        child = parent.spawn("worker")
+        assert child.seed != parent.seed
+        # Children are reproducible too.
+        again = RngStreams(5).spawn("worker")
+        assert again.seed == child.seed
+
+    def test_seed_property(self):
+        assert RngStreams(42).seed == 42
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc", [TopologyError, AddressingError, RoutingError, SimulationError]
+    )
+    def test_hierarchy(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("nope")

@@ -1,0 +1,81 @@
+"""Tests for scenario config JSON round-tripping and the run-config CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, MBPS
+from repro.experiments import ScenarioConfig, load_config, save_config
+from repro.experiments.configio import config_from_dict, config_to_dict
+
+
+def sample_config(**overrides):
+    base = dict(
+        topology="fattree",
+        topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        scheduler="dard",
+        scheduler_params={"delta_bps": 5 * MBPS},
+        arrival_rate_per_host=0.05,
+        duration_s=30.0,
+        flow_size_bytes=64 * MB,
+        seed=3,
+        link_events=(("fail", 10.0, "agg_0_0", "core_0_0"),),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        config = sample_config()
+        path = tmp_path / "scenario.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_dict_round_trip(self):
+        config = sample_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_config(sample_config(), path)
+        payload = json.loads(path.read_text())
+        assert payload["scheduler"] == "dard"
+        assert payload["link_events"] == [["fail", 10.0, "agg_0_0", "core_0_0"]]
+
+    def test_unknown_key_rejected(self):
+        payload = config_to_dict(sample_config())
+        payload["scheduller"] = "dard"  # the typo this guard exists for
+        with pytest.raises(ConfigurationError):
+            config_from_dict(payload)
+
+    def test_malformed_event_rejected(self):
+        payload = config_to_dict(sample_config())
+        payload["link_events"] = [["fail", 10.0, "agg_0_0"]]
+        with pytest.raises(ConfigurationError):
+            config_from_dict(payload)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+
+class TestRunConfigCli:
+    def test_run_config(self, tmp_path, capsys):
+        config = sample_config(link_events=(), duration_s=20.0)
+        path = tmp_path / "scenario.json"
+        save_config(config, path)
+        records = tmp_path / "records.csv"
+        code = cli_main(["run-config", str(path), "--records-csv", str(records)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler=dard" in out
+        assert records.exists()

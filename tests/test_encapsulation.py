@@ -1,0 +1,104 @@
+"""Tests for the IP-in-IP encapsulation data path."""
+
+import pytest
+
+from repro.common.errors import AddressingError, RoutingError
+from repro.addressing import (
+    EncapsulationModule,
+    HierarchicalAddressing,
+    IdMapper,
+    Packet,
+    PathCodec,
+)
+from repro.switches import SwitchFabric
+from repro.topology import FatTree
+
+
+@pytest.fixture(scope="module")
+def stack():
+    topo = FatTree(p=4)
+    addressing = HierarchicalAddressing(topo)
+    codec = PathCodec(addressing)
+    mapper = IdMapper(topo.hosts())
+    fabric = SwitchFabric(addressing)
+    return topo, codec, mapper, fabric
+
+
+def modules(stack, src, dst):
+    topo, codec, mapper, _ = stack
+    return (
+        EncapsulationModule(src, codec, mapper),
+        EncapsulationModule(dst, codec, mapper),
+    )
+
+
+class TestEncapsulation:
+    def test_wrap_unwrap_round_trip(self, stack):
+        topo, codec, mapper, fabric = stack
+        src, dst = "h_0_0_0", "h_1_0_0"
+        tx, rx = modules(stack, src, dst)
+        path = topo.equal_cost_paths("tor_0_0", "tor_1_0")[1]
+        tx.set_path(dst, path)
+        packet = Packet(src_id=mapper.id_of(src), dst_id=mapper.id_of(dst), payload=b"hi")
+        wrapped = tx.encapsulate(packet)
+        # The fabric really delivers it along the pinned path.
+        trace = fabric.forward_trace(src, wrapped.outer_src, wrapped.outer_dst)
+        assert trace == (src,) + path + (dst,)
+        assert rx.decapsulate(wrapped) == packet
+
+    def test_path_shift_changes_outer_header_only(self, stack):
+        topo, codec, mapper, fabric = stack
+        src, dst = "h_0_0_0", "h_2_0_0"
+        tx, rx = modules(stack, src, dst)
+        paths = topo.equal_cost_paths("tor_0_0", "tor_2_0")
+        packet = Packet(src_id=mapper.id_of(src), dst_id=mapper.id_of(dst))
+        tx.set_path(dst, paths[0])
+        first = tx.encapsulate(packet)
+        tx.set_path(dst, paths[3])  # the DARD shift
+        second = tx.encapsulate(packet)
+        assert (first.outer_src, first.outer_dst) != (second.outer_src, second.outer_dst)
+        assert first.inner == second.inner  # application-invisible
+        assert rx.decapsulate(second) == packet
+
+    def test_cannot_spoof_source_id(self, stack):
+        topo, codec, mapper, _ = stack
+        tx, _ = modules(stack, "h_0_0_0", "h_1_0_0")
+        spoofed = Packet(src_id=mapper.id_of("h_3_1_1"), dst_id=mapper.id_of("h_1_0_0"))
+        with pytest.raises(AddressingError):
+            tx.encapsulate(spoofed)
+
+    def test_send_without_pinned_path(self, stack):
+        topo, codec, mapper, _ = stack
+        tx, _ = modules(stack, "h_0_0_0", "h_1_0_0")
+        packet = Packet(src_id=mapper.id_of("h_0_0_0"), dst_id=mapper.id_of("h_1_0_0"))
+        with pytest.raises(AddressingError):
+            tx.encapsulate(packet)
+
+    def test_misdelivery_detected(self, stack):
+        topo, codec, mapper, _ = stack
+        src, dst = "h_0_0_0", "h_1_0_0"
+        tx, _ = modules(stack, src, dst)
+        wrong_rx = EncapsulationModule("h_2_0_0", codec, mapper)
+        path = topo.equal_cost_paths("tor_0_0", "tor_1_0")[0]
+        tx.set_path(dst, path)
+        wrapped = tx.encapsulate(
+            Packet(src_id=mapper.id_of(src), dst_id=mapper.id_of(dst))
+        )
+        with pytest.raises(RoutingError):
+            wrong_rx.decapsulate(wrapped)
+
+    def test_set_path_validates(self, stack):
+        topo, codec, mapper, _ = stack
+        tx, _ = modules(stack, "h_0_0_0", "h_1_0_0")
+        bad_path = topo.equal_cost_paths("tor_2_0", "tor_1_0")[0]
+        with pytest.raises(AddressingError):
+            tx.set_path("h_1_0_0", bad_path)
+
+    def test_current_path_reported(self, stack):
+        topo, codec, mapper, _ = stack
+        tx, _ = modules(stack, "h_0_0_0", "h_1_0_0")
+        path = topo.equal_cost_paths("tor_0_0", "tor_1_0")[2]
+        tx.set_path("h_1_0_0", path)
+        assert tx.current_path("h_1_0_0") == path
+        with pytest.raises(AddressingError):
+            tx.current_path("h_3_0_0")

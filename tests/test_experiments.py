@@ -1,0 +1,159 @@
+"""Tests for metrics, report rendering, the scenario runner, and the CLI."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, MBPS
+from repro.cli import main as cli_main
+from repro.experiments import (
+    ScenarioConfig,
+    cdf_points,
+    improvement,
+    make_scheduler,
+    mean,
+    percentile,
+    run_scenario,
+    summarize_fct,
+    summarize_path_switches,
+)
+from repro.experiments.report import render_cdf, render_table
+
+
+class TestMetrics:
+    def test_mean_and_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert mean(values) == 2.5
+        assert percentile(values, 50) == 2.5
+        assert math.isnan(mean([]))
+        assert math.isnan(percentile([], 90))
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_improvement_formula(self):
+        # Paper eq. 1: (avg_ecmp - avg_dard) / avg_ecmp.
+        assert improvement(10.0, 8.0) == pytest.approx(0.2)
+        assert improvement(10.0, 12.0) == pytest.approx(-0.2)
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+    def test_fct_summary(self):
+        summary = summarize_fct([1.0, 2.0, 3.0, 10.0])
+        assert summary.count == 4
+        assert summary.mean_s == 4.0
+        assert summary.max_s == 10.0
+        assert "mean" in str(summary)
+
+    def test_path_switch_summary(self):
+        summary = summarize_path_switches([0, 0, 1, 2, 3])
+        assert summary.fraction_zero == pytest.approx(0.4)
+        assert summary.max == 3
+        empty = summarize_path_switches([])
+        assert empty.count == 0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_render_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in render_table(rows, columns=["a"])
+
+    def test_render_cdf_quantiles(self):
+        series = {"x": [(1.0, 0.5), (2.0, 1.0)]}
+        text = render_cdf(series, unit="s")
+        assert "x" in text and "(values in s)" in text
+
+    def test_render_cdf_empty_series(self):
+        text = render_cdf({"x": []})
+        assert "-" in text
+
+
+class TestRunner:
+    BASE = dict(
+        topology="fattree",
+        topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        arrival_rate_per_host=0.05,
+        duration_s=40.0,
+        flow_size_bytes=64 * MB,
+    )
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("magic")
+
+    def test_scheduler_kwargs_forwarded(self):
+        scheduler = make_scheduler("dard", delta_bps=5.0)
+        assert scheduler.delta_bps == 5.0
+
+    def test_identical_workload_across_schedulers(self):
+        """The heart of pairwise comparability: the same seed produces the
+        same flows regardless of scheduler."""
+        a = run_scenario(ScenarioConfig(scheduler="ecmp", seed=9, **self.BASE))
+        b = run_scenario(ScenarioConfig(scheduler="dard", seed=9, **self.BASE))
+        assert [(r.src, r.dst, r.size_bytes) for r in sorted(a.records, key=lambda r: r.flow_id)] == [
+            (r.src, r.dst, r.size_bytes) for r in sorted(b.records, key=lambda r: r.flow_id)
+        ]
+
+    def test_same_seed_reproducible(self):
+        a = run_scenario(ScenarioConfig(scheduler="dard", seed=4, **self.BASE))
+        b = run_scenario(ScenarioConfig(scheduler="dard", seed=4, **self.BASE))
+        assert a.mean_fct == b.mean_fct
+        assert a.path_switches == b.path_switches
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(ScenarioConfig(scheduler="ecmp", seed=1, **self.BASE))
+        b = run_scenario(ScenarioConfig(scheduler="ecmp", seed=2, **self.BASE))
+        assert a.fcts != b.fcts
+
+    def test_all_admitted_flows_complete(self):
+        result = run_scenario(ScenarioConfig(scheduler="ecmp", seed=0, **self.BASE))
+        assert len(result.records) == result.flows_generated
+        assert result.sim_time_s >= self.BASE["duration_s"]
+
+    def test_network_params_passthrough(self):
+        result = run_scenario(
+            ScenarioConfig(
+                scheduler="dard", seed=0,
+                network_params={"elephant_age_s": 3.0}, **self.BASE,
+            )
+        )
+        assert result.peak_elephants > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "tab6" in out
+
+    def test_compare(self, capsys):
+        code = cli_main([
+            "compare", "--pods", "4", "--rate", "0.05", "--duration", "30",
+            "--size-mb", "64", "--schedulers", "ecmp", "dard",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ecmp" in out and "dard" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = cli_main(["run", "ablation_sync", "--duration", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "randomized" in out and "synchronized" in out

@@ -1,0 +1,96 @@
+"""Smoke tests for every experiment function at miniature parameters.
+
+The real reproductions live in ``benchmarks/`` with full durations and
+shape assertions; these only verify that each experiment runs end to end,
+returns well-formed rows/series, and renders. Durations are cut to the
+bone so the whole module stays in the tens of seconds.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    ablation_delta,
+    ablation_synchronization,
+    ext_failure_recovery,
+    ext_flowlet_texcp,
+    fig4_improvement,
+    fig5_testbed_cdf,
+    fig6_path_switches,
+    fig15_overhead,
+    run_experiment,
+)
+
+FAST = {"duration_s": 25.0, "seed": 1}
+
+
+def check_output(output, expect_series=False):
+    assert isinstance(output, ExperimentOutput)
+    assert output.rows, output.experiment_id
+    for row in output.rows:
+        for value in row.values():
+            if isinstance(value, float):
+                assert not math.isnan(value), (output.experiment_id, row)
+    if expect_series:
+        assert output.series
+    text = output.render()
+    assert output.experiment_id in text
+
+
+class TestFigureFunctions:
+    def test_fig4(self):
+        check_output(fig4_improvement(rates=(0.06,), **FAST))
+
+    def test_fig5(self):
+        check_output(fig5_testbed_cdf(rate=0.08, **FAST), expect_series=True)
+
+    def test_fig6(self):
+        check_output(fig6_path_switches(rate=0.08, **FAST), expect_series=True)
+
+    def test_fig15(self):
+        check_output(fig15_overhead(rates=(0.04,), **FAST))
+
+    def test_ablation_delta(self):
+        check_output(ablation_delta(deltas_mbps=(10.0,), rate=0.08, **FAST))
+
+    def test_ablation_sync(self):
+        check_output(ablation_synchronization(rate=0.08, **FAST))
+
+    def test_ext_flowlet(self):
+        check_output(ext_flowlet_texcp(rate=0.08, **FAST))
+
+    def test_ext_failures(self):
+        output = ext_failure_recovery(
+            rate=0.08, duration_s=40.0, fail_at_s=12.0, restore_at_s=30.0, seed=1
+        )
+        check_output(output)
+        assert {row["scheduler"] for row in output.rows} == {
+            "ecmp", "vlb", "hedera", "dard",
+        }
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig4", "fig5", "fig6", "fig7", "fig8_tab5", "fig9", "fig10_tab7",
+            "fig11", "fig12", "tab4", "tab6", "fig13_fig14", "fig15",
+            "ablation_delta", "ablation_sync", "ablation_query",
+            "ablation_elephant", "ext_flowlet", "ext_centralized",
+            "ext_failures", "theory_convergence",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_documented(self):
+        for name, fn in EXPERIMENTS.items():
+            assert fn.__doc__, f"{name} lacks a docstring"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        output = run_experiment("ablation_sync", rate=0.08, **FAST)
+        assert output.experiment_id == "ablation_sync"

@@ -1,0 +1,134 @@
+"""Tests for flow objects and the reordering/retransmission model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulator.flows import Flow, FlowComponent, FlowRecord
+from repro.simulator.reordering import (
+    MAX_RETX_FRACTION,
+    component_delay,
+    reordering_retx_fraction,
+)
+
+
+def make_flow(components=None, size=1000.0):
+    if components is None:
+        components = [FlowComponent(("a", "b", "c"))]
+    return Flow(
+        flow_id=1, src=components[0].path[0], dst=components[0].path[-1],
+        size_bytes=size, start_time=0.0, components=list(components),
+    )
+
+
+class TestFlowComponent:
+    def test_links(self):
+        comp = FlowComponent(("a", "b", "c"))
+        assert comp.links() == (("a", "b"), ("b", "c"))
+
+    def test_default_weight(self):
+        assert FlowComponent(("a", "b")).weight == 1.0
+
+
+class TestFlow:
+    def test_initial_state(self):
+        flow = make_flow()
+        assert flow.remaining_bytes == 1000.0
+        assert flow.active
+        assert flow.rate_bps == 0.0
+        assert not flow.is_elephant
+
+    def test_needs_components(self):
+        with pytest.raises(SimulationError):
+            Flow(flow_id=1, src="a", dst="b", size_bytes=1.0, start_time=0.0, components=[])
+
+    def test_endpoint_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Flow(
+                flow_id=1, src="x", dst="c", size_bytes=1.0, start_time=0.0,
+                components=[FlowComponent(("a", "b", "c"))],
+            )
+
+    def test_rate_aggregates_components(self):
+        flow = make_flow([
+            FlowComponent(("a", "b", "c"), weight=0.5),
+            FlowComponent(("a", "d", "c"), weight=0.5),
+        ])
+        flow.component_rates = [30.0, 20.0]
+        assert flow.rate_bps == 50.0
+
+    def test_switch_path_single_component_only(self):
+        flow = make_flow()
+        assert flow.switch_path() == ("a", "b", "c")
+        striped = make_flow([
+            FlowComponent(("a", "b", "c")),
+            FlowComponent(("a", "d", "c")),
+        ])
+        with pytest.raises(ValueError):
+            striped.switch_path()
+
+    def test_age_and_retx_rate(self):
+        flow = make_flow(size=2000.0)
+        assert flow.age(5.0) == 5.0
+        flow.retransmitted_bytes = 500.0
+        assert flow.retx_rate() == 0.25
+
+
+class TestFlowRecord:
+    def test_fct_and_retx(self):
+        record = FlowRecord(
+            flow_id=1, src="a", dst="b", size_bytes=1000.0,
+            start_time=2.0, end_time=12.0, path_switches=3,
+            path_revisits=1, retransmitted_bytes=100.0, was_elephant=True,
+        )
+        assert record.fct == 10.0
+        assert record.retx_rate == 0.1
+        assert record.path_revisits == 1
+
+
+class TestReorderingModel:
+    delays = {("a", "b"): 0.0001, ("b", "c"): 0.0001, ("a", "d"): 0.0001, ("d", "c"): 0.0001}
+
+    def test_single_path_never_reorders(self):
+        frac = reordering_retx_fraction(
+            [FlowComponent(("a", "b", "c"))], [100.0], self.delays, {}
+        )
+        assert frac == 0.0
+
+    def test_zero_rate_no_reordering(self):
+        comps = [FlowComponent(("a", "b", "c")), FlowComponent(("a", "d", "c"))]
+        assert reordering_retx_fraction(comps, [0.0, 0.0], self.delays, {}) == 0.0
+
+    def test_equal_idle_paths_small_fraction(self):
+        comps = [FlowComponent(("a", "b", "c")), FlowComponent(("a", "d", "c"))]
+        frac = reordering_retx_fraction(comps, [50.0, 50.0], self.delays, {})
+        # No queueing -> no delay spread -> no reordering.
+        assert frac == 0.0
+
+    def test_loaded_paths_reorder(self):
+        comps = [FlowComponent(("a", "b", "c")), FlowComponent(("a", "d", "c"))]
+        utils = {("a", "b"): 0.9, ("b", "c"): 0.9, ("a", "d"): 0.3, ("d", "c"): 0.3}
+        frac = reordering_retx_fraction(comps, [50.0, 50.0], self.delays, utils)
+        assert 0.0 < frac <= MAX_RETX_FRACTION
+
+    def test_fraction_capped(self):
+        comps = [FlowComponent(("a", "b", "c")), FlowComponent(("a", "d", "c"))]
+        utils = {link: 0.99 for link in self.delays}
+        frac = reordering_retx_fraction(comps, [50.0, 50.0], self.delays, utils)
+        assert frac <= MAX_RETX_FRACTION
+
+    def test_component_delay_grows_with_utilization(self):
+        comp = FlowComponent(("a", "b", "c"))
+        idle_prop, idle_queue = component_delay(comp, self.delays, {})
+        hot_prop, hot_queue = component_delay(
+            comp, self.delays, {("a", "b"): 0.9, ("b", "c"): 0.9}
+        )
+        assert idle_queue == 0.0
+        assert hot_prop == idle_prop
+        assert hot_queue > 0.0
+
+    def test_skewed_split_reorders_less_than_even(self):
+        comps = [FlowComponent(("a", "b", "c")), FlowComponent(("a", "d", "c"))]
+        utils = {("a", "b"): 0.8, ("b", "c"): 0.8, ("a", "d"): 0.2, ("d", "c"): 0.2}
+        even = reordering_retx_fraction(comps, [50.0, 50.0], self.delays, utils)
+        skewed = reordering_retx_fraction(comps, [95.0, 5.0], self.delays, utils)
+        assert skewed < even

@@ -1,0 +1,145 @@
+"""End-to-end integration tests reproducing the paper's headline claims
+at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MB, MBPS
+from repro.experiments import ScenarioConfig, improvement, run_scenario
+
+TESTBED = dict(
+    topology="fattree",
+    topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+    arrival_rate_per_host=0.06,
+    duration_s=120.0,
+    flow_size_bytes=128 * MB,
+    seed=7,
+)
+
+
+def run(scheduler, pattern="stride", **overrides):
+    config = {**TESTBED, **overrides}
+    return run_scenario(ScenarioConfig(scheduler=scheduler, pattern=pattern, **config))
+
+
+class TestHeadlineClaims:
+    """The paper's abstract in test form."""
+
+    def test_dard_beats_ecmp_under_stride(self):
+        """'It outperforms previous solutions based on random flow-level
+        scheduling by 10%' — under inter-pod-dominant traffic."""
+        ecmp = run("ecmp")
+        dard = run("dard")
+        gain = improvement(ecmp.mean_fct, dard.mean_fct)
+        assert gain > 0.10, f"DARD only improved by {gain:.1%}"
+
+    def test_dard_close_to_centralized_under_stride(self):
+        """'performs similarly to ... a centralized scheduler' — within 10%."""
+        dard = run("dard")
+        hedera = run("hedera")
+        gap = (dard.mean_fct - hedera.mean_fct) / hedera.mean_fct
+        assert gap < 0.10, f"DARD trails Hedera by {gap:.1%}"
+
+    def test_dard_stable_path_switching(self):
+        """'90% of the flows switch their paths less than 3 times in their
+        life cycles.'"""
+        dard = run("dard")
+        switches = np.asarray(dard.path_switches)
+        assert np.percentile(switches, 90) <= 3
+        # Max stays below the number of available paths (4 on p=4).
+        assert switches.max() < 4 + 1
+
+    def test_dard_no_path_oscillation(self):
+        """'no flow switches its paths back and forth' — zero or
+        near-zero revisits to previously used paths."""
+        dard = run("dard")
+        revisits = np.asarray(dard.path_revisits)
+        assert revisits.sum() <= max(1, 0.02 * len(revisits))
+
+    def test_pvlb_does_oscillate(self):
+        """Contrast: random re-picking regularly lands back on old paths,
+        which is exactly the behaviour DARD's δ-gated selfish moves avoid."""
+        vlb = run("vlb")
+        assert sum(vlb.path_revisits) > sum(run("dard").path_revisits)
+
+    def test_staggered_flows_mostly_never_switch(self):
+        """'For the staggered traffic, around 90% of the flows stick to
+        their original path assignment.'"""
+        dard = run("dard", pattern="staggered")
+        switches = np.asarray(dard.path_switches)
+        assert (switches == 0).mean() > 0.7
+
+    def test_pvlb_similar_to_ecmp(self):
+        """'in most cases, [pVLB] performs similarly to [ECMP]' — the
+        path-switch retransmission cost eats VLB's collision-avoidance
+        gains; allow a generous band either way."""
+        ecmp = run("ecmp", pattern="random")
+        vlb = run("vlb", pattern="random")
+        gap = abs(improvement(ecmp.mean_fct, vlb.mean_fct))
+        assert gap < 0.25
+
+    def test_dard_beats_texcp_on_goodput(self):
+        """'outperforms TeXCP slightly' with far lower retransmission."""
+        dard = run("dard")
+        texcp = run("texcp")
+        assert dard.mean_fct <= texcp.mean_fct * 1.05
+        assert np.mean(dard.retx_rates) < np.mean(texcp.retx_rates)
+
+    def test_texcp_retransmission_band(self):
+        """TeXCP's retransmission rates land in the paper's 0-50% band,
+        clearly above DARD's."""
+        texcp = run("texcp")
+        rates = np.asarray(texcp.retx_rates)
+        assert rates.max() <= 0.5 + 1e-9
+        assert rates.mean() > 0.02
+
+
+class TestOverheadClaims:
+    def test_dard_overhead_bounded_by_topology(self):
+        """DARD's probe traffic is bounded by all-pairs probing, no matter
+        the load (§4.3.4): 'in the worst case, the system only needs to
+        handle all pair probes'."""
+        heavy = run("dard", arrival_rate_per_host=0.12)
+        # Ceiling: every host monitoring every other ToR, querying the
+        # 9-switch inter-pod set (1 ToR + 2 aggs + 4 cores + 2 aggs) once
+        # per second at 48+32 bytes per switch.
+        hosts, other_tors, switch_set, msg_bytes = 16, 7, 9, 48 + 32
+        ceiling = hosts * other_tors * switch_set * msg_bytes
+        assert heavy.control_bytes_per_second < ceiling
+
+    def test_centralized_overhead_tracks_flows(self):
+        light = run("hedera", arrival_rate_per_host=0.04)
+        heavy = run("hedera", arrival_rate_per_host=0.12)
+        assert heavy.control_bytes > light.control_bytes
+
+    def test_message_kinds(self):
+        dard = run("dard", duration_s=45.0)
+        assert set(dard.control_bytes_by_kind) == {"dard_query", "dard_reply"}
+        hedera = run("hedera", duration_s=45.0)
+        assert "report" in hedera.control_bytes_by_kind
+
+
+class TestTopologyGenerality:
+    """'a generic flow scheduling mechanism for all the above datacenter
+    networks' — DARD must function (and not lose to ECMP) on every family."""
+
+    @pytest.mark.parametrize(
+        "topology,params",
+        [
+            ("clos", {"d_i": 4, "d_a": 4, "hosts_per_tor": 2, "link_bandwidth_bps": 100 * MBPS}),
+            (
+                "threetier",
+                {
+                    "num_cores": 4, "num_pods": 2, "aggs_per_pod": 2,
+                    "access_per_pod": 3, "hosts_per_access": 2,
+                    "link_bandwidth_bps": 100 * MBPS,
+                },
+            ),
+        ],
+    )
+    def test_dard_no_worse_than_ecmp(self, topology, params):
+        base = dict(TESTBED, topology=topology, topology_params=params,
+                    arrival_rate_per_host=0.06, duration_s=60.0)
+        ecmp = run_scenario(ScenarioConfig(scheduler="ecmp", pattern="stride", **base))
+        dard = run_scenario(ScenarioConfig(scheduler="dard", pattern="stride", **base))
+        assert dard.mean_fct <= ecmp.mean_fct * 1.02

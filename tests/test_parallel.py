@@ -1,0 +1,55 @@
+"""Tests for parallel scenario execution."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, MBPS
+from repro.analysis import parallel_sweep, run_scenarios_parallel, sweep
+from repro.experiments import ScenarioConfig
+
+BASE = ScenarioConfig(
+    topology="fattree",
+    topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+    pattern="stride",
+    scheduler="ecmp",
+    arrival_rate_per_host=0.05,
+    duration_s=15.0,
+    flow_size_bytes=16 * MB,
+    seed=1,
+)
+
+
+class TestRunScenariosParallel:
+    def test_empty(self):
+        assert run_scenarios_parallel([]) == []
+
+    def test_single_runs_serially(self):
+        results = run_scenarios_parallel([BASE], max_workers=4)
+        assert len(results) == 1 and results[0].records
+
+    def test_parallel_matches_serial(self):
+        import dataclasses
+
+        configs = [dataclasses.replace(BASE, seed=s) for s in (1, 2, 3, 4)]
+        serial = [r.mean_fct for r in run_scenarios_parallel(configs, max_workers=1)]
+        parallel = [
+            r.mean_fct for r in run_scenarios_parallel(configs, max_workers=2)
+        ]
+        assert parallel == serial
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_scenarios_parallel([BASE], max_workers=0)
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep(self):
+        grid = {"seed": [1, 2], "scheduler": ["ecmp", "vlb"]}
+        serial = sweep(BASE, grid)
+        parallel = parallel_sweep(BASE, grid, max_workers=2)
+        assert [o for o, _ in parallel] == [o for o, _ in serial]
+        assert [r.mean_fct for _, r in parallel] == [r.mean_fct for _, r in serial]
+
+    def test_empty_grid(self):
+        results = parallel_sweep(BASE, {}, max_workers=2)
+        assert len(results) == 1

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants: prefix subdivision, the addressing/codec/fabric agreement,
+max-min allocation laws, and congestion-game convergence (Theorem 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addressing import HierarchicalAddressing, PathCodec
+from repro.addressing.prefix import Prefix
+from repro.gametheory import CongestionGame, GameFlow, run_best_response_dynamics
+from repro.gametheory.theorems import check_theorem1_bound
+from repro.simulator.maxmin import link_utilizations, maxmin_allocate
+from repro.switches import SwitchFabric
+from repro.topology import FatTree
+
+
+# ---------------------------------------------------------------------------
+# Prefix algebra
+# ---------------------------------------------------------------------------
+
+@st.composite
+def prefix_and_children(draw):
+    base_len = draw(st.integers(min_value=0, max_value=20))
+    value = draw(st.integers(min_value=0, max_value=(1 << base_len) - 1 if base_len else 0))
+    base = Prefix(value << (32 - base_len) if base_len else 0, base_len)
+    child_bits = draw(st.integers(min_value=1, max_value=min(8, 32 - base_len)))
+    return base, child_bits
+
+
+class TestPrefixProperties:
+    @given(prefix_and_children())
+    @settings(max_examples=200)
+    def test_subdivision_children_partition_parent(self, case):
+        base, child_bits = case
+        children = [base.subdivide(i, child_bits) for i in range(1 << child_bits)]
+        # Children are pairwise disjoint and all inside the parent.
+        for i, a in enumerate(children):
+            assert base.contains_prefix(a)
+            for b in children[i + 1:]:
+                assert not a.overlaps(b)
+        # Spans sum exactly to the parent's span.
+        parent_span = 1 << (32 - base.length)
+        child_span = 1 << (32 - base.length - child_bits)
+        assert child_span * len(children) == parent_span
+
+    @given(prefix_and_children(), st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=200)
+    def test_address_in_exactly_one_child(self, case, addr):
+        base, child_bits = case
+        if not base.contains_address(addr):
+            return
+        children = [base.subdivide(i, child_bits) for i in range(1 << child_bits)]
+        assert sum(child.contains_address(addr) for child in children) == 1
+
+
+# ---------------------------------------------------------------------------
+# Addressing / codec / fabric agreement on random host pairs and paths
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def stack():
+    topo = FatTree(p=4)
+    addressing = HierarchicalAddressing(topo)
+    return topo, addressing, PathCodec(addressing), SwitchFabric(addressing)
+
+
+class TestCodecFabricAgreement:
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_encode_decode_forward_agree(self, stack, data):
+        topo, addressing, codec, fabric = stack
+        hosts = sorted(topo.hosts())
+        src = data.draw(st.sampled_from(hosts))
+        dst = data.draw(st.sampled_from([h for h in hosts if h != src]))
+        paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+        path = data.draw(st.sampled_from(paths))
+        src_addr, dst_addr = codec.encode(src, dst, path)
+        # The codec's logical decode and the fabric's hop-by-hop forwarding
+        # must agree exactly.
+        assert codec.decode(src_addr, dst_addr) == path
+        assert fabric.forward_trace(src, src_addr, dst_addr) == (src,) + path + (dst,)
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_owner_round_trip(self, stack, data):
+        topo, addressing, codec, fabric = stack
+        host = data.draw(st.sampled_from(sorted(topo.hosts())))
+        chain = data.draw(st.sampled_from(sorted(addressing.addresses_of(host))))
+        addr = addressing.address_of(host, chain)
+        assert addressing.owner_of(addr) == (host, chain)
+
+
+# ---------------------------------------------------------------------------
+# Max-min allocation laws on random instances
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_allocation_instance(draw):
+    num_links = draw(st.integers(min_value=1, max_value=8))
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {
+        link: draw(st.floats(min_value=1.0, max_value=1000.0)) for link in links
+    }
+    num_flows = draw(st.integers(min_value=1, max_value=12))
+    demands = []
+    for _ in range(num_flows):
+        route_len = draw(st.integers(min_value=1, max_value=num_links))
+        route = tuple(draw(st.permutations(links))[:route_len])
+        weight = draw(st.floats(min_value=0.1, max_value=5.0))
+        demands.append((route, weight))
+    return demands, capacities
+
+
+class TestMaxMinProperties:
+    @given(random_allocation_instance())
+    @settings(max_examples=200, deadline=None)
+    def test_feasible_positive_and_bottlenecked(self, instance):
+        demands, capacities = instance
+        rates = maxmin_allocate(demands, capacities)
+        utils = link_utilizations(demands, rates, capacities)
+        # Feasibility: no link over capacity.
+        assert all(u <= 1.0 + 1e-6 for u in utils.values())
+        # Positivity: everyone gets something.
+        assert all(r > 0 for r in rates)
+        # Max-min: every flow is bottlenecked on some saturated link.
+        for (route, _), rate in zip(demands, rates):
+            assert any(utils[link] >= 1.0 - 1e-6 for link in route)
+
+    @given(random_allocation_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_theorem1_bound_on_random_instances(self, instance):
+        """Theorem 1 (Appendix A) checked on arbitrary unweighted networks:
+        min flow rate >= min BoNF under max-min fairness."""
+        demands, capacities = instance
+        unweighted = [(route, 1.0) for route, _ in demands]
+        assert check_theorem1_bound(unweighted, capacities).holds
+
+    @given(random_allocation_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_allocation_deterministic(self, instance):
+        demands, capacities = instance
+        assert maxmin_allocate(demands, capacities) == maxmin_allocate(
+            demands, capacities
+        )
+
+
+# ---------------------------------------------------------------------------
+# Congestion game convergence (Theorem 2) on random games
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_game(draw):
+    num_links = draw(st.integers(min_value=2, max_value=6))
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {link: float(draw(st.integers(min_value=1, max_value=20))) for link in links}
+    num_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for fid in range(num_flows):
+        num_routes = draw(st.integers(min_value=1, max_value=4))
+        routes = []
+        for _ in range(num_routes):
+            length = draw(st.integers(min_value=1, max_value=min(3, num_links)))
+            routes.append(tuple(draw(st.permutations(links))[:length]))
+        flows.append(GameFlow(fid, tuple(routes)))
+    delta = draw(st.floats(min_value=0.05, max_value=2.0))
+    return CongestionGame(capacities, flows, delta)
+
+
+class TestGameProperties:
+    @given(random_game())
+    @settings(max_examples=100, deadline=None)
+    def test_dynamics_converge_to_nash(self, game):
+        """Theorem 2: asynchronous selfish moves terminate at a Nash
+        equilibrium in finitely many steps, on arbitrary games."""
+        result = run_best_response_dynamics(game, max_steps=5000)
+        assert result.converged
+        assert game.is_nash(result.final)
+
+    @given(random_game())
+    @settings(max_examples=100, deadline=None)
+    def test_every_move_improves_the_mover(self, game):
+        result = run_best_response_dynamics(game, max_steps=5000)
+        for step in result.steps:
+            assert step.bonf_after - step.bonf_before > game.delta_bps - 1e-9
+
+    @given(random_game(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_convergence_independent_of_move_order(self, game, seed):
+        rng = np.random.default_rng(seed)
+        result = run_best_response_dynamics(game, rng=rng, max_steps=5000)
+        assert result.converged
+        assert game.is_nash(result.final)

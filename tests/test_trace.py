@@ -1,0 +1,132 @@
+"""Tests for trace-driven workloads (record / save / load / replay)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, MBPS
+from repro.addressing import HierarchicalAddressing, PathCodec
+from repro.baselines import EcmpScheduler
+from repro.scheduling import SchedulerContext
+from repro.simulator import EventEngine, Network
+from repro.topology import FatTree
+from repro.workloads import (
+    ArrivalProcess,
+    StridePattern,
+    TraceEntry,
+    TraceRecorder,
+    TraceReplay,
+    WorkloadSpec,
+    load_trace,
+    save_trace,
+)
+
+
+def entry(t, src="h_0_0_0", dst="h_1_0_0", size=1 * MB):
+    return TraceEntry(time_s=t, src=src, dst=dst, size_bytes=size)
+
+
+class TestTraceEntry:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            entry(-1.0)
+        with pytest.raises(ConfigurationError):
+            TraceEntry(0.0, "a", "a", 1.0)
+        with pytest.raises(ConfigurationError):
+            TraceEntry(0.0, "a", "b", 0.0)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        entries = [entry(2.0), entry(1.0, dst="h_2_0_0"), entry(3.0)]
+        path = tmp_path / "trace.csv"
+        assert save_trace(entries, path) == 3
+        loaded = load_trace(path)
+        assert [e.time_s for e in loaded] == [1.0, 2.0, 3.0]  # sorted
+        assert loaded[0].dst == "h_2_0_0"
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("when,who\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestReplay:
+    def _scheduler(self):
+        topo = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        ctx = SchedulerContext(
+            network=Network(topo),
+            codec=PathCodec(HierarchicalAddressing(topo)),
+            rng=np.random.default_rng(0),
+        )
+        scheduler = EcmpScheduler()
+        scheduler.attach(ctx)
+        return ctx, scheduler
+
+    def test_replay_fires_at_recorded_times(self):
+        ctx, scheduler = self._scheduler()
+        entries = [entry(1.0), entry(2.5, src="h_0_0_1", dst="h_2_0_0")]
+        replay = TraceReplay(ctx.engine, ctx.topology, entries, scheduler.place)
+        replay.start()
+        ctx.engine.run_until(5.0)
+        assert replay.flows_replayed == 2
+        starts = sorted(f.start_time for f in ctx.network.records + ctx.network.active_flows())
+        assert starts == [1.0, 2.5]
+
+    def test_unknown_host_rejected(self):
+        ctx, scheduler = self._scheduler()
+        with pytest.raises(ConfigurationError):
+            TraceReplay(ctx.engine, ctx.topology, [entry(1.0, src="ghost")], scheduler.place)
+
+    def test_duration(self):
+        ctx, scheduler = self._scheduler()
+        replay = TraceReplay(ctx.engine, ctx.topology, [entry(1.0), entry(9.0)], scheduler.place)
+        assert replay.duration_s == 9.0
+        assert TraceReplay(ctx.engine, ctx.topology, [], scheduler.place).duration_s == 0.0
+
+
+class TestRecorder:
+    def test_record_then_replay_identical(self, tmp_path):
+        """Record a Poisson run, replay it: flow sets are identical."""
+        topo = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        ctx = SchedulerContext(
+            network=Network(topo),
+            codec=PathCodec(HierarchicalAddressing(topo)),
+            rng=np.random.default_rng(0),
+        )
+        scheduler = EcmpScheduler()
+        scheduler.attach(ctx)
+        recorder = TraceRecorder(ctx.engine, scheduler.place)
+        process = ArrivalProcess(
+            engine=ctx.engine,
+            pattern=StridePattern(topo),
+            spec=WorkloadSpec(arrival_rate_per_host=0.2, duration_s=10.0, flow_size_bytes=4 * MB),
+            sink=recorder,
+            rng=np.random.default_rng(5),
+        )
+        process.start()
+        ctx.engine.run_until(15.0)
+        path = tmp_path / "recorded.csv"
+        save_trace(recorder.entries, path)
+
+        # Fresh stack, replay the file.
+        topo2 = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        ctx2 = SchedulerContext(
+            network=Network(topo2),
+            codec=PathCodec(HierarchicalAddressing(topo2)),
+            rng=np.random.default_rng(0),
+        )
+        scheduler2 = EcmpScheduler()
+        scheduler2.attach(ctx2)
+        replay = TraceReplay(ctx2.engine, topo2, load_trace(path), scheduler2.place)
+        replay.start()
+        ctx2.engine.run_until(15.0)
+
+        original = sorted((e.time_s, e.src, e.dst) for e in recorder.entries)
+        replayed = sorted(
+            (f.start_time, f.src, f.dst)
+            for f in list(ctx2.network.records) + ctx2.network.active_flows()
+        )
+        assert [(s, d) for _, s, d in original] == [(s, d) for _, s, d in replayed]
+        assert replay.flows_replayed == len(recorder.entries)

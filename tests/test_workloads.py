@@ -1,0 +1,169 @@
+"""Tests for traffic patterns and the arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.simulator import EventEngine
+from repro.workloads import (
+    ArrivalProcess,
+    RandomPattern,
+    StaggeredPattern,
+    StridePattern,
+    WorkloadSpec,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRandomPattern:
+    def test_never_self(self, fattree4, rng):
+        pattern = RandomPattern(fattree4)
+        for host in pattern.hosts:
+            for _ in range(10):
+                assert pattern.pick_dst(host, rng) != host
+
+    def test_covers_many_destinations(self, fattree4, rng):
+        pattern = RandomPattern(fattree4)
+        dsts = {pattern.pick_dst("h_0_0_0", rng) for _ in range(300)}
+        assert len(dsts) == 15  # every other host eventually drawn
+
+
+class TestStaggeredPattern:
+    def test_bucket_proportions(self, fattree4, rng):
+        pattern = StaggeredPattern(fattree4, tor_p=0.5, pod_p=0.3)
+        src = "h_0_0_0"
+        same_tor = same_pod = other = 0
+        n = 4000
+        for _ in range(n):
+            dst = pattern.pick_dst(src, rng)
+            if fattree4.tor_of(dst) == "tor_0_0":
+                same_tor += 1
+            elif fattree4.pod_of(dst) == 0:
+                same_pod += 1
+            else:
+                other += 1
+        assert same_tor / n == pytest.approx(0.5, abs=0.05)
+        assert same_pod / n == pytest.approx(0.3, abs=0.05)
+        assert other / n == pytest.approx(0.2, abs=0.05)
+
+    def test_invalid_probabilities(self, fattree4):
+        with pytest.raises(ConfigurationError):
+            StaggeredPattern(fattree4, tor_p=0.8, pod_p=0.5)
+        with pytest.raises(ConfigurationError):
+            StaggeredPattern(fattree4, tor_p=-0.1, pod_p=0.3)
+
+    def test_fallback_when_rack_is_solitary(self, rng):
+        """hosts_per_tor=1 leaves the same-ToR bucket empty; draws must
+        fall through rather than fail."""
+        from repro.topology import ClosNetwork
+
+        topo = ClosNetwork(d_i=4, d_a=4, hosts_per_tor=1)
+        pattern = StaggeredPattern(topo, tor_p=0.9, pod_p=0.05)
+        src = topo.hosts()[0]
+        for _ in range(50):
+            assert pattern.pick_dst(src, rng) != src
+
+
+class TestStridePattern:
+    def test_deterministic_mapping(self, fattree4, rng):
+        pattern = StridePattern(fattree4, step=4)
+        a = pattern.pick_dst("h_0_0_0", rng)
+        b = pattern.pick_dst("h_0_0_0", rng)
+        assert a == b
+
+    def test_auto_step_crosses_pods(self, fattree4, rng):
+        pattern = StridePattern(fattree4)
+        for host in pattern.hosts:
+            dst = pattern.pick_dst(host, rng)
+            assert fattree4.pod_of(dst) != fattree4.pod_of(host), (host, dst)
+
+    def test_stride_is_permutation(self, fattree4, rng):
+        pattern = StridePattern(fattree4)
+        dsts = [pattern.pick_dst(h, rng) for h in pattern.hosts]
+        assert sorted(dsts) == sorted(pattern.hosts)
+
+    def test_invalid_step(self, fattree4):
+        with pytest.raises(ConfigurationError):
+            StridePattern(fattree4, step=0)
+        with pytest.raises(ConfigurationError):
+            StridePattern(fattree4, step=16)
+
+
+class TestMakePattern:
+    def test_by_name(self, fattree4):
+        assert isinstance(make_pattern("random", fattree4), RandomPattern)
+        assert isinstance(make_pattern("staggered", fattree4), StaggeredPattern)
+        assert isinstance(make_pattern("stride", fattree4), StridePattern)
+
+    def test_kwargs_forwarded(self, fattree4):
+        pattern = make_pattern("staggered", fattree4, tor_p=0.2, pod_p=0.2)
+        assert pattern.tor_p == 0.2
+
+    def test_unknown_pattern(self, fattree4):
+        with pytest.raises(ConfigurationError):
+            make_pattern("bimodal", fattree4)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival_rate_per_host=0, duration_s=10)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival_rate_per_host=1, duration_s=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival_rate_per_host=1, duration_s=10, flow_size_bytes=0)
+
+    def test_default_flow_size_is_128mb(self):
+        assert WorkloadSpec(arrival_rate_per_host=1, duration_s=10).flow_size_bytes == 128_000_000
+
+
+class TestArrivalProcess:
+    def test_generates_roughly_poisson_count(self, fattree4, rng):
+        engine = EventEngine()
+        pattern = StridePattern(fattree4)
+        spec = WorkloadSpec(arrival_rate_per_host=0.5, duration_s=100.0)
+        flows = []
+        process = ArrivalProcess(
+            engine, pattern, spec, lambda s, d, b: flows.append((s, d, b)), rng
+        )
+        process.start()
+        engine.run_until_idle()
+        expected = 16 * 0.5 * 100
+        assert 0.8 * expected < len(flows) < 1.2 * expected
+        assert process.flows_generated == len(flows)
+
+    def test_no_arrivals_after_duration(self, fattree4, rng):
+        engine = EventEngine()
+        pattern = StridePattern(fattree4)
+        spec = WorkloadSpec(arrival_rate_per_host=1.0, duration_s=10.0)
+        times = []
+        process = ArrivalProcess(engine, pattern, spec, lambda s, d, b: times.append(engine.now), rng)
+        process.start()
+        engine.run_until_idle()
+        assert max(times) <= 10.0
+
+    def test_flow_sizes_passed_through(self, fattree4, rng):
+        engine = EventEngine()
+        pattern = StridePattern(fattree4)
+        spec = WorkloadSpec(arrival_rate_per_host=1.0, duration_s=5.0, flow_size_bytes=42.0)
+        sizes = set()
+        ArrivalProcess(engine, pattern, spec, lambda s, d, b: sizes.add(b), rng).start()
+        engine.run_until_idle()
+        assert sizes == {42.0}
+
+    def test_max_flows_cap(self, fattree4, rng):
+        engine = EventEngine()
+        pattern = StridePattern(fattree4)
+        spec = WorkloadSpec(arrival_rate_per_host=5.0, duration_s=50.0)
+        flows = []
+        process = ArrivalProcess(
+            engine, pattern, spec, lambda s, d, b: flows.append(1), rng, max_flows=7
+        )
+        process.start()
+        engine.run_until_idle()
+        assert len(flows) == 7

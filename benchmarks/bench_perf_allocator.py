@@ -1,0 +1,138 @@
+"""Allocator microbenchmark: integer-indexed CSR core vs string-keyed baseline.
+
+Measures steady-state reallocation throughput (demands/sec) at p=4/8/16
+fat-tree scale. The baseline is ``maxmin_allocate_reference`` — the
+pre-LinkIndex implementation preserved verbatim — fed string-keyed demands,
+re-interning links on every call exactly as the old ``Network._reallocate``
+did. The fast path is ``maxmin_allocate_indexed`` fed the CSR arrays a
+network caches per flow, which is what every post-index reallocation pays.
+
+Output rows land in ``benchmarks/results/perf_allocator.txt`` and the raw
+numbers in ``benchmarks/results/BENCH_perf_allocator.json`` so the perf
+trajectory is tracked across PRs. The acceptance gate asserts >= 3x
+throughput at p=16.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+import numpy as np
+
+from repro.common.units import MBPS
+from repro.experiments.figures import ExperimentOutput
+from repro.simulator.linkindex import LinkIndex
+from repro.simulator.maxmin import (
+    maxmin_allocate_indexed,
+    maxmin_allocate_reference,
+)
+from repro.topology import FatTree
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: rounds per measurement, scaled down as the topology grows.
+ROUNDS = {4: 30, 8: 10, 16: 4}
+
+#: demands per host — keeps the demand count proportional to fabric size.
+FLOWS_PER_HOST = 2.0
+
+
+def _build_case(p, seed=7):
+    """One reproducible workload: a fat-tree and a batch of path demands."""
+    topo = FatTree(p=p, link_bandwidth_bps=100 * MBPS)
+    rng = random.Random(seed)
+    hosts = sorted(topo.hosts())
+    capacities = {}
+    for link in topo.links():
+        bw = topo.link(link.u, link.v).bandwidth_bps
+        capacities[(link.u, link.v)] = bw
+        capacities[(link.v, link.u)] = bw
+    demands = []
+    for _ in range(int(len(hosts) * FLOWS_PER_HOST)):
+        src, dst = rng.sample(hosts, 2)
+        paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+        path = topo.host_path(src, dst, rng.choice(paths))
+        demands.append((tuple(zip(path, path[1:])), 1.0))
+    return topo, demands, capacities
+
+
+def _index_demands(topo, demands):
+    """What Network does once per flow: intern paths to CSR arrays."""
+    index = LinkIndex.from_topology(topo)
+    component_ids = [index.index_links(links) for links, _ in demands]
+    lengths = np.fromiter((ids.size for ids in component_ids), dtype=np.intp)
+    indptr = np.zeros(len(component_ids) + 1, dtype=np.intp)
+    np.cumsum(lengths, out=indptr[1:])
+    indices = np.concatenate(component_ids)
+    weights = np.asarray([w for _, w in demands], dtype=float)
+    return indices, indptr, weights, index.capacities
+
+
+def _throughput(fn, n_demands, rounds):
+    """Demands allocated per second over ``rounds`` timed calls."""
+    fn()  # warm-up (first-touch allocations, caches)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    elapsed = time.perf_counter() - start
+    return n_demands * rounds / elapsed, elapsed / rounds
+
+
+def _measure(p):
+    topo, demands, capacities = _build_case(p)
+    rounds = ROUNDS[p]
+    baseline_tput, baseline_call = _throughput(
+        lambda: maxmin_allocate_reference(demands, capacities), len(demands), rounds
+    )
+    indices, indptr, weights, caps = _index_demands(topo, demands)
+    indexed_tput, indexed_call = _throughput(
+        lambda: maxmin_allocate_indexed(indices, indptr, weights, caps),
+        len(demands),
+        rounds,
+    )
+    # Sanity: both paths agree on the allocation they are being timed on.
+    ref_rates = maxmin_allocate_reference(demands, capacities)
+    new_rates, _ = maxmin_allocate_indexed(indices, indptr, weights, caps)
+    assert np.allclose(new_rates, ref_rates, rtol=1e-9, atol=1e-6)
+    return {
+        "p": p,
+        "hosts": len(topo.hosts()),
+        "demands": len(demands),
+        "baseline_demands_per_s": baseline_tput,
+        "indexed_demands_per_s": indexed_tput,
+        "baseline_call_s": baseline_call,
+        "indexed_call_s": indexed_call,
+        "speedup": indexed_tput / baseline_tput,
+    }
+
+
+def _run_all():
+    rows = [_measure(p) for p in (4, 8, 16)]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_perf_allocator.json").write_text(
+        json.dumps({"experiment": "perf_allocator", "rows": rows}, indent=2) + "\n"
+    )
+    return ExperimentOutput(
+        "perf_allocator",
+        "max-min allocator throughput: indexed CSR core vs string-keyed baseline",
+        rows=[
+            {
+                "p": r["p"],
+                "demands": r["demands"],
+                "baseline_dem_per_s": round(r["baseline_demands_per_s"]),
+                "indexed_dem_per_s": round(r["indexed_demands_per_s"]),
+                "speedup": round(r["speedup"], 2),
+            }
+            for r in rows
+        ],
+        notes="baseline re-interns (str, str) links per call; indexed reuses "
+        "per-flow CSR arrays as Network._reallocate does",
+    )
+
+
+def test_perf_allocator(benchmark, save_output):
+    output = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    save_output(output)
+    by_p = {row["p"]: row for row in output.rows}
+    assert by_p[16]["speedup"] >= 3.0, by_p[16]

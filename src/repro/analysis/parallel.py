@@ -37,8 +37,12 @@ def run_scenarios_parallel(
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
     if max_workers == 1 or len(configs) == 1:
         return [run_scenario(config) for config in configs]
+    # Chunk the work so large sweeps amortize inter-process pickling
+    # instead of round-tripping one config at a time; capped so every
+    # worker still gets several chunks for load balance.
+    chunksize = max(1, min(8, len(configs) // (max_workers * 4)))
     with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(run_scenario, configs))
+        return list(pool.map(run_scenario, configs, chunksize=chunksize))
 
 
 def parallel_sweep(

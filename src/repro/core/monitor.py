@@ -65,6 +65,9 @@ class PathMonitor:
         self.ledger = ledger
         self.message_sizes = message_sizes
         self.paths: List[SwitchPath] = network.topology.equal_cost_paths(src_tor, dst_tor)
+        #: path -> position lookup; path_index() runs once per elephant per
+        #: scheduling round, so an O(P) list scan adds up at scale.
+        self._path_index: dict = {tuple(p): i for i, p in enumerate(self.paths)}
         self.query_switches = switches_to_query(network.topology, src_tor, dst_tor)
         self.path_states: List[PathState] = [
             PathState(bandwidth_bps=0.0, flow_numbers=0) for _ in self.paths
@@ -97,8 +100,8 @@ class PathMonitor:
     def path_index(self, switch_path: SwitchPath) -> int:
         """Which monitored path a flow's current route corresponds to."""
         try:
-            return self.paths.index(tuple(switch_path))
-        except ValueError:
+            return self._path_index[tuple(switch_path)]
+        except KeyError:
             raise KeyError(
                 f"path {switch_path!r} is not an equal-cost path between "
                 f"{self.src_tor!r} and {self.dst_tor!r}"

@@ -20,7 +20,14 @@ explicitly where they matter:
 
 from repro.simulator.engine import EventEngine
 from repro.simulator.flows import Flow, FlowComponent, FlowRecord
-from repro.simulator.maxmin import maxmin_allocate
+from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
+from repro.simulator.maxmin import (
+    link_loads_indexed,
+    link_utilizations,
+    maxmin_allocate,
+    maxmin_allocate_indexed,
+    maxmin_allocate_reference,
+)
 from repro.simulator.network import LinkState, Network
 from repro.simulator.reordering import reordering_retx_fraction
 
@@ -29,8 +36,14 @@ __all__ = [
     "Flow",
     "FlowComponent",
     "FlowRecord",
+    "LinkArrayMapping",
+    "LinkIndex",
     "LinkState",
     "Network",
+    "link_loads_indexed",
+    "link_utilizations",
     "maxmin_allocate",
+    "maxmin_allocate_indexed",
+    "maxmin_allocate_reference",
     "reordering_retx_fraction",
 ]

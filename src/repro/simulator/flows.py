@@ -38,9 +38,15 @@ class FlowComponent:
     path: Tuple[str, ...]
     weight: float = 1.0
 
+    def __post_init__(self) -> None:
+        # Frozen dataclass: stash the derived link tuple once via
+        # object.__setattr__ — links() is called from every hot path
+        # (counter updates, reallocation, invariant checks).
+        object.__setattr__(self, "_links", tuple(zip(self.path, self.path[1:])))
+
     def links(self) -> Tuple[Tuple[str, str], ...]:
-        """The directed links this component traverses."""
-        return tuple(zip(self.path, self.path[1:]))
+        """The directed links this component traverses (cached)."""
+        return self._links
 
 
 @dataclass
@@ -67,6 +73,12 @@ class Flow:
     #: (recomputed whenever components change; 0 for single-path flows).
     reorder_retx_fraction: float = 0.0
     end_time: Optional[float] = None
+    #: per-component link-id arrays over the owning network's LinkIndex,
+    #: computed once at start/reroute and reused by every hot path
+    #: (set by the Network; ``None`` for flows never attached to one).
+    component_link_ids: Optional[List] = None
+    #: sorted unique link ids across all components (set by the Network).
+    unique_link_ids: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.remaining_bytes = float(self.size_bytes)

@@ -1,0 +1,135 @@
+"""Dense integer interning of directed links.
+
+The fluid simulator's hot loop — max-min reallocation after every flow
+event — used to hash ``(str, str)`` link tuples on every call. A
+:class:`LinkIndex` interns each directed link to a dense integer id
+exactly once per :class:`~repro.simulator.network.Network`, so all
+per-link quantities (capacity, delay, failure state, flow counters,
+utilization) become numpy arrays indexed by link id and every hot-path
+computation is a vectorized gather/scatter instead of a dict walk.
+
+:class:`LinkArrayMapping` wraps one of those arrays back into a
+``Mapping[LinkId, value]`` so code (and tests) written against the old
+dict-shaped surfaces keeps working unchanged — reads and writes go
+straight through to the underlying array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, MutableMapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+#: A directed link identifier (u, v) — re-exported by :mod:`maxmin`.
+LinkId = Tuple[str, str]
+
+
+class LinkIndex:
+    """Immutable intern table: directed link ``(u, v)`` -> dense int id.
+
+    Built once per network from the topology's directed links; capacities
+    and propagation delays ride along as arrays aligned to the ids.
+    """
+
+    __slots__ = ("ids", "links", "capacities", "delays")
+
+    def __init__(
+        self,
+        links: Sequence[LinkId],
+        capacities: Iterable[float],
+        delays: Iterable[float],
+    ) -> None:
+        self.links: List[LinkId] = list(links)
+        self.ids: Dict[LinkId, int] = {link: i for i, link in enumerate(self.links)}
+        if len(self.ids) != len(self.links):
+            raise SimulationError("duplicate directed link in LinkIndex")
+        self.capacities = np.asarray(list(capacities), dtype=float)
+        self.delays = np.asarray(list(delays), dtype=float)
+        if self.capacities.shape[0] != len(self.links) or self.delays.shape[0] != len(
+            self.links
+        ):
+            raise SimulationError("LinkIndex arrays must align with the link list")
+
+    @classmethod
+    def from_topology(cls, topology) -> "LinkIndex":
+        """Intern every directed link of a topology, in its link order."""
+        links: List[LinkId] = []
+        caps: List[float] = []
+        delays: List[float] = []
+        for u, v in topology.directed_links():
+            link = topology.link(u, v)
+            links.append((u, v))
+            caps.append(link.bandwidth_bps)
+            delays.append(link.delay_s)
+        return cls(links, caps, delays)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __contains__(self, link: LinkId) -> bool:
+        return link in self.ids
+
+    def id_of(self, link: LinkId) -> int:
+        """The dense id of one directed link; unknown links raise."""
+        try:
+            return self.ids[link]
+        except KeyError:
+            raise SimulationError(f"component uses unknown link {link}") from None
+
+    def index_links(self, links: Iterable[LinkId]) -> np.ndarray:
+        """Intern a sequence of directed links to an id array."""
+        ids = self.ids
+        link_list = list(links)
+        try:
+            return np.fromiter(
+                (ids[link] for link in link_list), dtype=np.intp, count=len(link_list)
+            )
+        except KeyError:
+            bad = next(link for link in link_list if link not in ids)
+            raise SimulationError(f"component uses unknown link {bad}") from None
+
+    def index_path(self, path: Sequence[str]) -> np.ndarray:
+        """Intern the directed links of a node path to an id array."""
+        return self.index_links(zip(path, path[1:]))
+
+
+class LinkArrayMapping(MutableMapping):
+    """Dict-shaped live view over a per-link array.
+
+    Iteration yields every interned link (zero entries included); reads
+    and writes address the backing array in place, so mutating the view
+    mutates the simulator state it fronts — exactly like the plain dicts
+    it replaces.
+    """
+
+    __slots__ = ("_index", "_array")
+
+    def __init__(self, index: LinkIndex, array: np.ndarray) -> None:
+        self._index = index
+        self._array = array
+
+    def __getitem__(self, link: LinkId):
+        i = self._index.ids.get(link)
+        if i is None:
+            raise KeyError(link)
+        return self._array[i].item()
+
+    def __setitem__(self, link: LinkId, value) -> None:
+        i = self._index.ids.get(link)
+        if i is None:
+            raise KeyError(link)
+        self._array[i] = value
+
+    def __delitem__(self, link: LinkId) -> None:
+        raise TypeError("links cannot be removed from a LinkArrayMapping")
+
+    def __iter__(self) -> Iterator[LinkId]:
+        return iter(self._index.links)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, link) -> bool:
+        return link in self._index.ids

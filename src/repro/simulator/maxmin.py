@@ -10,18 +10,30 @@ Weights exist for TeXCP-style striping, where one agent deliberately sends
 unequal shares down different paths; every single-path scheduler uses
 weight 1.0.
 
-The implementation is vectorized over a sparse link x demand incidence
-matrix — the allocator runs after every flow arrival/completion/reroute,
-so it is the simulator's hot loop.
+The allocator runs after every flow arrival/completion/reroute, so it is
+the simulator's hot loop. The fast path is :func:`maxmin_allocate_indexed`:
+demands arrive as CSR-style integer arrays over a persistent
+:class:`~repro.simulator.linkindex.LinkIndex`, and the progressive-filling
+loop is fully vectorized — bottleneck search is one ``argmin`` over the
+link arrays and each freeze round's capacity/weight updates are batched
+``np.add.at`` scatters, with no per-demand Python loop. The string-keyed
+:func:`maxmin_allocate` signature survives as a thin wrapper that interns
+links per call, and :func:`maxmin_allocate_reference` preserves the
+pre-index implementation verbatim as the equivalence/benchmark baseline.
+
+Demands are assumed loop-free (no demand crosses the same directed link
+twice) — true for every path the topology generators emit.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import SimulationError
+from repro.simulator.linkindex import LinkIndex  # noqa: F401  (re-export)
 
 #: A directed link identifier (u, v).
 LinkId = Tuple[str, str]
@@ -31,6 +43,246 @@ Demand = Tuple[Sequence[LinkId], float]
 
 _EPSILON = 1e-9
 
+#: Hybrid switch: after this many consecutive filling rounds that each froze
+#: fewer than :data:`_SMALL_ROUND` demands, the vectorized loop hands the
+#: remainder to the lazy-heap tail (see :func:`_progressive_fill_tail`).
+_TAIL_SWITCH_ROUNDS = 4
+_SMALL_ROUND = 8
+
+
+def maxmin_allocate_indexed(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    capacities: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """Vectorized progressive filling over pre-indexed demands.
+
+    ``indices``/``indptr`` are a CSR encoding of the demand x link
+    incidence: demand ``j`` crosses link ids
+    ``indices[indptr[j]:indptr[j + 1]]``. ``weights`` is per demand and
+    ``capacities`` is the dense per-link-id capacity array (links not
+    crossed by any demand are ignored). Returns ``(rates, iterations)``
+    where ``rates`` is the per-demand allocation in bits/s and
+    ``iterations`` counts filling rounds (one per saturated bottleneck) —
+    the number the network's :meth:`perf_stats` telemetry accumulates.
+
+    Inputs are trusted (the wrapper and the network validate at indexing
+    time); an infeasible state still raises :class:`SimulationError`.
+    """
+    n = int(indptr.shape[0]) - 1
+    if n <= 0:
+        return np.zeros(0, dtype=float), 0
+    num_links = int(capacities.shape[0])
+
+    # Demand owning each nonzero, and the link -> member-demands CSR
+    # transpose. The stable sort keeps members in ascending demand order,
+    # which keeps the freeze-update arithmetic in the same sequence as the
+    # reference implementation (bit-for-bit equal subtraction order).
+    demand_of = np.repeat(np.arange(n, dtype=np.intp), np.diff(indptr))
+    order = np.argsort(indices, kind="stable")
+    link_members = demand_of[order]
+    link_ptr = np.zeros(num_links + 1, dtype=np.intp)
+    np.cumsum(np.bincount(indices, minlength=num_links), out=link_ptr[1:])
+
+    remaining = capacities.astype(float, copy=True)
+    live_weight = np.zeros(num_links, dtype=float)
+    np.add.at(live_weight, indices, weights[demand_of])
+
+    rates = np.zeros(n, dtype=float)
+    active = np.ones(n, dtype=bool)
+    unfrozen = n
+    iterations = 0
+    small_rounds = 0
+
+    # Progressive filling, in two regimes. The vectorized loop below does an
+    # O(L) numpy bottleneck search per round and freezes *every* link tied at
+    # the minimum share in one batch. Ties are exact in exact arithmetic
+    # (removing a frozen demand from a tied link leaves its share unchanged:
+    # rem - w*s over lw - w equals s when rem = s*lw), so batching is
+    # faithful to sequential filling — and in symmetric fabrics it collapses
+    # hundreds of one-bottleneck rounds into a handful. Once the symmetric
+    # waves are exhausted the remaining bottlenecks have distinct shares and
+    # each round freezes one or two demands, so per-round numpy dispatch
+    # overhead dominates; after _TAIL_SWITCH_ROUNDS such rounds the loop
+    # hands the remainder to the lazy-heap tail, which does O(log L) work
+    # per event with no O(L) passes. Each demand is frozen exactly once, so
+    # the update work totals O(nnz) across the whole call either way.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        while unfrozen > 0:
+            iterations += 1
+            share = np.where(live_weight > _EPSILON, remaining / live_weight, np.inf)
+            bottleneck = int(np.argmin(share))
+            best_share = share[bottleneck]
+            if not np.isfinite(best_share):
+                raise SimulationError("no bottleneck found with demands outstanding")
+            tied = np.nonzero(share == best_share)[0]
+            best_share = max(float(best_share), 0.0)
+            if tied.size == 1:
+                members = link_members[link_ptr[bottleneck] : link_ptr[bottleneck + 1]]
+            else:
+                members = np.concatenate(
+                    [link_members[link_ptr[b] : link_ptr[b + 1]] for b in tied]
+                )
+            members = members[active[members]]
+            if members.size:
+                members = np.unique(members)
+                frozen = weights[members] * best_share
+                rates[members] = frozen
+                active[members] = False
+                unfrozen -= int(members.size)
+                # Gather every nonzero position of the frozen demands (in
+                # ascending demand order) and scatter the updates in one shot.
+                starts = indptr[members]
+                lens = indptr[members + 1] - starts
+                total = int(lens.sum())
+                offsets = np.cumsum(lens) - lens
+                positions = (
+                    np.arange(total, dtype=np.intp)
+                    - np.repeat(offsets, lens)
+                    + np.repeat(starts, lens)
+                )
+                touched = indices[positions]
+                np.add.at(remaining, touched, -np.repeat(frozen, lens))
+                np.add.at(live_weight, touched, -np.repeat(weights[members], lens))
+            remaining[tied] = 0.0
+            live_weight[tied] = 0.0
+            np.maximum(remaining, 0.0, out=remaining)
+            small_rounds = small_rounds + 1 if members.size < _SMALL_ROUND else 0
+            if small_rounds >= _TAIL_SWITCH_ROUNDS and unfrozen > 0:
+                return _progressive_fill_tail(
+                    remaining,
+                    live_weight,
+                    indices,
+                    indptr,
+                    weights,
+                    link_members,
+                    link_ptr,
+                    rates,
+                    active,
+                    unfrozen,
+                    iterations,
+                )
+
+    return rates, iterations
+
+
+def _progressive_fill_tail(
+    remaining: np.ndarray,
+    live_weight: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    link_members: np.ndarray,
+    link_ptr: np.ndarray,
+    rates: np.ndarray,
+    active: np.ndarray,
+    unfrozen: int,
+    iterations: int,
+) -> Tuple[np.ndarray, int]:
+    """Finish progressive filling with a lazy-deletion min-heap.
+
+    Takes over mid-fill when rounds stop batching (every remaining
+    bottleneck has a distinct share, freezing one or two demands each).
+    Shares are monotone: freezing a demand never lowers any other link's
+    share (share' = s_l + w * (s_l - s) / (lw - w) >= s_l since s is the
+    round minimum), so a heap entry's key is always <= the link's current
+    share and a stale pop can simply be re-pushed with the refreshed key.
+    Each pop/freeze touches O(path length * log L) Python-level work with
+    no O(L) array passes — cheaper than numpy dispatch at this regime's
+    one-demand-per-round granularity.
+
+    The arithmetic (share division, member subtraction order, end-of-round
+    clamp to zero) exactly mirrors one-link rounds of the vectorized loop,
+    so the handoff does not perturb the allocation.
+    """
+    rem = remaining.tolist()
+    lw = live_weight.tolist()
+    flat = indices.tolist()
+    ptr = indptr.tolist()
+    wts = weights.tolist()
+    members_flat = link_members.tolist()
+    members_ptr = link_ptr.tolist()
+    act = active.tolist()
+    out = rates.tolist()
+
+    heap = [(rem[b] / lw[b], b) for b in range(len(lw)) if lw[b] > _EPSILON]
+    heapq.heapify(heap)
+    while unfrozen > 0:
+        if not heap:
+            raise SimulationError("no bottleneck found with demands outstanding")
+        share, b = heapq.heappop(heap)
+        weight = lw[b]
+        if weight <= _EPSILON:
+            continue  # stale: the link froze (or emptied) since this push
+        current = rem[b] / weight
+        if current > share:
+            heapq.heappush(heap, (current, b))  # stale key; retry with fresh
+            continue
+        if current < 0.0:
+            current = 0.0
+        iterations += 1
+        for j in members_flat[members_ptr[b] : members_ptr[b + 1]]:
+            if not act[j]:
+                continue
+            wj = wts[j]
+            rate = wj * current
+            out[j] = rate
+            act[j] = False
+            unfrozen -= 1
+            for link in flat[ptr[j] : ptr[j + 1]]:
+                left = rem[link] - rate
+                rem[link] = left if left > 0.0 else 0.0
+                lw[link] -= wj
+        rem[b] = 0.0
+        lw[b] = 0.0
+
+    rates[:] = out
+    return rates, iterations
+
+
+def _intern_demands(
+    demands: Sequence[Demand],
+    capacities: Dict[LinkId, float],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Validate string-keyed demands and build the CSR arrays.
+
+    Links are interned in order of first appearance (matching the
+    reference implementation); duplicate links within one demand collapse
+    to a single crossing, preserving the reference's buffered-update
+    semantics.
+    """
+    n = len(demands)
+    used_links: Dict[LinkId, int] = {}
+    weights = np.empty(n, dtype=float)
+    flat: List[int] = []
+    indptr = np.zeros(n + 1, dtype=np.intp)
+    for j, (links, weight) in enumerate(demands):
+        if not links:
+            raise SimulationError(f"demand {j} traverses no links")
+        if weight <= 0:
+            raise SimulationError(f"demand {j} has non-positive weight {weight}")
+        weights[j] = weight
+        seen: Dict[int, None] = {}
+        for link in links:
+            if link not in capacities:
+                raise SimulationError(f"demand {j} uses unknown link {link}")
+            index = used_links.get(link)
+            if index is None:
+                index = len(used_links)
+                used_links[link] = index
+            seen.setdefault(index)
+        flat.extend(seen)
+        indptr[j + 1] = len(flat)
+    caps = np.empty(len(used_links), dtype=float)
+    for link, index in used_links.items():
+        cap = capacities[link]
+        if cap <= 0:
+            raise SimulationError(f"link {link} in use has non-positive capacity {cap}")
+        caps[index] = cap
+    indices = np.asarray(flat, dtype=np.intp)
+    return indices, indptr, weights, caps
+
 
 def maxmin_allocate(
     demands: Sequence[Demand],
@@ -38,9 +290,28 @@ def maxmin_allocate(
 ) -> List[float]:
     """Rates (bits/s) for each demand under weighted max-min fairness.
 
-    Demands traversing no links are rejected — every real flow crosses at
-    least its host access link. Unknown links or non-positive capacities
-    and weights raise :class:`SimulationError`.
+    Compatibility wrapper over :func:`maxmin_allocate_indexed`: interns the
+    links per call, then runs the vectorized core. Demands traversing no
+    links are rejected — every real flow crosses at least its host access
+    link. Unknown links or non-positive capacities and weights raise
+    :class:`SimulationError`.
+    """
+    if len(demands) == 0:
+        return []
+    indices, indptr, weights, caps = _intern_demands(demands, capacities)
+    rates, _ = maxmin_allocate_indexed(indices, indptr, weights, caps)
+    return rates.tolist()
+
+
+def maxmin_allocate_reference(
+    demands: Sequence[Demand],
+    capacities: Dict[LinkId, float],
+) -> List[float]:
+    """The pre-index string-keyed implementation, kept verbatim.
+
+    Serves two jobs: the oracle for the randomized equivalence suite and
+    the baseline for ``bench_perf_allocator``'s speedup measurement. Do
+    not optimize this function.
     """
     n = len(demands)
     if n == 0:
@@ -86,9 +357,6 @@ def maxmin_allocate(
     active = np.ones(n, dtype=bool)
     unfrozen = n
 
-    # Progressive filling: each iteration vectorizes the bottleneck search
-    # (O(L) numpy); each demand is frozen exactly once, so the per-demand
-    # update work totals O(nnz) across the whole call.
     while unfrozen > 0:
         with np.errstate(divide="ignore", invalid="ignore"):
             share = np.where(live_weight > _EPSILON, remaining / live_weight, np.inf)
@@ -114,14 +382,49 @@ def maxmin_allocate(
     return rates.tolist()
 
 
+def link_loads_indexed(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    rates: np.ndarray,
+    num_links: int,
+) -> np.ndarray:
+    """Dense per-link-id load (bits/s) for an allocation.
+
+    The one shared load derivation: the network's reallocator divides this
+    by the capacity array for its utilization surface, and the string-keyed
+    :func:`link_utilizations` wraps it for external callers.
+    """
+    load = np.zeros(num_links, dtype=float)
+    demand_of = np.repeat(np.arange(indptr.shape[0] - 1, dtype=np.intp), np.diff(indptr))
+    np.add.at(load, indices, np.asarray(rates, dtype=float)[demand_of])
+    return load
+
+
 def link_utilizations(
     demands: Sequence[Demand],
     rates: Sequence[float],
     capacities: Dict[LinkId, float],
 ) -> Dict[LinkId, float]:
-    """Per-link utilization in [0, 1] given an allocation."""
-    load: Dict[LinkId, float] = {}
-    for (links, _), rate in zip(demands, rates):
+    """Per-link utilization in [0, 1] given an allocation.
+
+    String-keyed wrapper over :func:`link_loads_indexed`; every link
+    crossed by any demand appears in the result (zero-load links at 0.0),
+    matching the historical contract.
+    """
+    if not demands:
+        return {}
+    used_links: Dict[LinkId, int] = {}
+    flat: List[int] = []
+    indptr = np.zeros(len(demands) + 1, dtype=np.intp)
+    for j, (links, _) in enumerate(demands):
         for link in links:
-            load[link] = load.get(link, 0.0) + rate
-    return {link: total / capacities[link] for link, total in load.items()}
+            index = used_links.setdefault(link, len(used_links))
+            flat.append(index)
+        indptr[j + 1] = len(flat)
+    load = link_loads_indexed(
+        np.asarray(flat, dtype=np.intp), indptr, np.asarray(rates, dtype=float), len(used_links)
+    )
+    return {
+        link: float(load[index]) / capacities[link]
+        for link, index in used_links.items()
+    }

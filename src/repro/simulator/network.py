@@ -14,12 +14,25 @@ through four surfaces:
 Rate dynamics: after any membership change the weighted max-min allocation
 is recomputed once (changes at the same instant are coalesced through a
 zero-delay event) and the next completion event is rescheduled.
+
+Performance architecture (see DESIGN.md): every directed link is interned
+to a dense integer id by a :class:`~repro.simulator.linkindex.LinkIndex`
+built once per network. Capacities, delays, failure state, flow counters,
+and utilizations live in numpy arrays indexed by link id; each flow's
+components are indexed to link-id arrays exactly once at start/reroute and
+reused by counter updates, reallocation, reordering estimates, and
+invariant checks. The reallocator hands the allocator pre-built CSR demand
+arrays, so the per-event hot path never hashes a ``(str, str)`` link key.
+:meth:`perf_stats` exposes the reallocation telemetry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common.errors import SimulationError
 from repro.common.logging import get_logger
@@ -32,8 +45,13 @@ from repro.simulator.flows import (
     FlowComponent,
     FlowRecord,
 )
-from repro.simulator.maxmin import LinkId, maxmin_allocate
-from repro.simulator.reordering import reordering_retx_fraction
+from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
+from repro.simulator.maxmin import (
+    LinkId,
+    link_loads_indexed,
+    maxmin_allocate_indexed,
+)
+from repro.simulator.reordering import reordering_retx_fraction_indexed
 
 _BYTES_EPSILON = 1.0  # flows within one byte of done are done
 
@@ -82,12 +100,27 @@ class Network:
         self.path_switch_retx_bytes = path_switch_retx_bytes
         self.model_reordering = model_reordering
 
-        self.capacities: Dict[LinkId, float] = {}
-        self.link_delays: Dict[LinkId, float] = {}
-        for u, v in topology.directed_links():
-            link = topology.link(u, v)
-            self.capacities[(u, v)] = link.bandwidth_bps
-            self.link_delays[(u, v)] = link.delay_s
+        #: the per-network intern table; all per-link arrays align to it.
+        self.link_index = LinkIndex.from_topology(topology)
+        self._cap_array = self.link_index.capacities
+        self._delay_array = self.link_index.delays
+        num_links = len(self.link_index)
+        self._total_array = np.zeros(num_links, dtype=np.int64)
+        self._eleph_array = np.zeros(num_links, dtype=np.int64)
+        self._util_array = np.zeros(num_links, dtype=float)
+        self._failed_mask = np.zeros(num_links, dtype=bool)
+
+        # Dict-shaped compatibility surfaces over the same storage.
+        self.capacities: Dict[LinkId, float] = {
+            link: float(cap)
+            for link, cap in zip(self.link_index.links, self._cap_array)
+        }
+        self.link_delays: Dict[LinkId, float] = {
+            link: float(delay)
+            for link, delay in zip(self.link_index.links, self._delay_array)
+        }
+        self._link_elephants = LinkArrayMapping(self.link_index, self._eleph_array)
+        self._link_total = LinkArrayMapping(self.link_index, self._total_array)
 
         self.flows: Dict[int, Flow] = {}
         self.records: List[FlowRecord] = []
@@ -95,9 +128,6 @@ class Network:
         self._last_settle = 0.0
         self._realloc_pending = False
         self._completion_handle: Optional[EventHandle] = None
-        self._link_elephants: Dict[LinkId, int] = {}
-        self._link_total: Dict[LinkId, int] = {}
-        self._link_utils: Dict[LinkId, float] = {}
 
         self.flow_started_listeners: List[Listener] = []
         self.elephant_listeners: List[Listener] = []
@@ -112,6 +142,18 @@ class Network:
         self.failed_links: set = set()
         self.link_failed_listeners: List[Callable[[str, str], None]] = []
         self.link_restored_listeners: List[Callable[[str, str], None]] = []
+
+        # Reallocation / event telemetry (see perf_stats).
+        self._stat_realloc_calls = 0
+        self._stat_realloc_requests = 0
+        self._stat_realloc_coalesced = 0
+        self._stat_realloc_sync = 0
+        self._stat_realloc_demands = 0
+        self._stat_fill_iterations = 0
+        self._stat_realloc_time_s = 0.0
+        self._stat_flows_started = 0
+        self._stat_flows_completed = 0
+        self._stat_reroutes = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -141,12 +183,13 @@ class Network:
             components=list(components),
         )
         self._next_flow_id += 1
-        self._validate_components(flow)
+        self._index_components(flow)
         flow.component_rates = [0.0] * len(flow.components)
         if len(flow.components) == 1:
             flow.path_history.append(flow.components[0].path)
         self.flows[flow.flow_id] = flow
         self._adjust_link_counts(flow, +1)
+        self._stat_flows_started += 1
         self.engine.schedule_in(
             self.elephant_age_s, lambda fid=flow.flow_id: self._promote_elephant(fid)
         )
@@ -174,9 +217,10 @@ class Network:
         self._settle()
         self._adjust_link_counts(flow, -1)
         flow.components = list(components)
-        self._validate_components(flow)
+        self._index_components(flow)
         flow.component_rates = [0.0] * len(flow.components)
         self._adjust_link_counts(flow, +1)
+        self._stat_reroutes += 1
         if count_switch:
             flow.path_switches += 1
             if len(flow.components) == 1:
@@ -223,8 +267,11 @@ class Network:
         logger.info("t=%.2f link %s <-> %s failed", self.now, u, v)
         self.failed_links.add((u, v))
         self.failed_links.add((v, u))
+        self._failed_mask[self.link_index.id_of((u, v))] = True
+        self._failed_mask[self.link_index.id_of((v, u))] = True
         # Reallocate synchronously: a dead cable must carry nothing from
         # this instant, not from the next event-loop turn.
+        self._stat_realloc_sync += 1
         self._reallocate()
         for listener in self.link_failed_listeners:
             listener(u, v)
@@ -237,6 +284,9 @@ class Network:
         logger.info("t=%.2f link %s <-> %s restored", self.now, u, v)
         self.failed_links.discard((u, v))
         self.failed_links.discard((v, u))
+        self._failed_mask[self.link_index.id_of((u, v))] = False
+        self._failed_mask[self.link_index.id_of((v, u))] = False
+        self._stat_realloc_sync += 1
         self._reallocate()
         for listener in self.link_restored_listeners:
             listener(u, v)
@@ -250,14 +300,14 @@ class Network:
         zero BoNF — failure detection needs no extra machinery beyond the
         state DARD already polls.
         """
-        key = (u, v)
-        if key not in self.capacities:
-            raise SimulationError(f"no such directed link {key}")
-        bandwidth = 0.0 if key in self.failed_links else self.capacities[key]
+        index = self.link_index.ids.get((u, v))
+        if index is None:
+            raise SimulationError(f"no such directed link {(u, v)}")
+        bandwidth = 0.0 if self._failed_mask[index] else float(self._cap_array[index])
         return LinkState(
             bandwidth_bps=bandwidth,
-            elephant_flows=self._link_elephants.get(key, 0),
-            total_flows=self._link_total.get(key, 0),
+            elephant_flows=int(self._eleph_array[index]),
+            total_flows=int(self._total_array[index]),
         )
 
     def path_state(self, path: Sequence[str], skip_host_links: bool = True) -> LinkState:
@@ -282,7 +332,43 @@ class Network:
 
     def utilization(self, u: str, v: str) -> float:
         """Most recent allocated utilization of the directed link ``u -> v``."""
-        return self._link_utils.get((u, v), 0.0)
+        index = self.link_index.ids.get((u, v))
+        if index is None:
+            return 0.0
+        return float(self._util_array[index])
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def perf_stats(self) -> Dict[str, float]:
+        """Reallocation and event telemetry for this network's lifetime.
+
+        Keys:
+
+        * ``realloc_calls`` — times the allocator actually ran;
+        * ``realloc_requests`` — membership changes that asked for one;
+        * ``realloc_coalesced`` — requests absorbed into an already-pending
+          zero-delay reallocation (the coalescing win);
+        * ``realloc_sync`` — synchronous reallocations from fail/restore;
+        * ``realloc_demands`` — total demands handed to the allocator;
+        * ``filling_iterations`` — total progressive-filling rounds;
+        * ``realloc_time_s`` — wall time spent inside reallocation;
+        * ``flows_started`` / ``flows_completed`` / ``reroutes`` — event
+          counts, for cross-checking the counters above;
+        * ``num_links`` — size of the link index.
+        """
+        return {
+            "realloc_calls": self._stat_realloc_calls,
+            "realloc_requests": self._stat_realloc_requests,
+            "realloc_coalesced": self._stat_realloc_coalesced,
+            "realloc_sync": self._stat_realloc_sync,
+            "realloc_demands": self._stat_realloc_demands,
+            "filling_iterations": self._stat_fill_iterations,
+            "realloc_time_s": self._stat_realloc_time_s,
+            "flows_started": self._stat_flows_started,
+            "flows_completed": self._stat_flows_completed,
+            "reroutes": self._stat_reroutes,
+            "num_links": len(self.link_index),
+        }
 
     # -- self-checks --------------------------------------------------------------
 
@@ -296,40 +382,48 @@ class Network:
         * no link is allocated beyond capacity,
         * failed links carry no allocated rate,
         * per-flow byte accounting is sane.
+
+        The recount re-derives link ids from component paths — it does not
+        trust the per-flow caches it is auditing.
         """
-        expected_total: Dict[LinkId, int] = {}
-        expected_eleph: Dict[LinkId, int] = {}
-        load: Dict[LinkId, float] = {}
+        num_links = len(self.link_index)
+        expected_total = np.zeros(num_links, dtype=np.int64)
+        expected_eleph = np.zeros(num_links, dtype=np.int64)
+        load = np.zeros(num_links, dtype=float)
         for flow in self.flows.values():
-            seen = set()
+            flow_ids: List[np.ndarray] = []
             for component, rate in zip(flow.components, flow.component_rates):
-                for link in component.links():
-                    load[link] = load.get(link, 0.0) + rate
-                    if link in seen:
-                        continue
-                    seen.add(link)
-                    expected_total[link] = expected_total.get(link, 0) + 1
-                    if flow.is_elephant:
-                        expected_eleph[link] = expected_eleph.get(link, 0) + 1
-        for link, count in self._link_total.items():
-            if count != expected_total.get(link, 0):
+                ids = self.link_index.index_links(component.links())
+                flow_ids.append(ids)
+                load[ids] += rate
+            unique = np.unique(np.concatenate(flow_ids)) if flow_ids else np.empty(0, np.intp)
+            expected_total[unique] += 1
+            if flow.is_elephant:
+                expected_eleph[unique] += 1
+        for name, actual, expected in (
+            ("total-flow", self._total_array, expected_total),
+            ("elephant", self._eleph_array, expected_eleph),
+        ):
+            bad = np.nonzero(actual != expected)[0]
+            if bad.size:
+                link = self.link_index.links[int(bad[0])]
                 raise SimulationError(
-                    f"link {link} total-flow counter {count} != recount "
-                    f"{expected_total.get(link, 0)}"
+                    f"link {link} {name} counter {int(actual[bad[0]])} != recount "
+                    f"{int(expected[bad[0]])}"
                 )
-        for link, count in self._link_elephants.items():
-            if count != expected_eleph.get(link, 0):
-                raise SimulationError(
-                    f"link {link} elephant counter {count} != recount "
-                    f"{expected_eleph.get(link, 0)}"
-                )
-        for link, total in load.items():
-            if total > self.capacities[link] * (1 + 1e-6):
-                raise SimulationError(
-                    f"link {link} allocated {total} over capacity {self.capacities[link]}"
-                )
-            if link in self.failed_links and total > 0:
-                raise SimulationError(f"failed link {link} carries rate {total}")
+        over = np.nonzero(load > self._cap_array * (1 + 1e-6))[0]
+        if over.size:
+            link = self.link_index.links[int(over[0])]
+            raise SimulationError(
+                f"link {link} allocated {load[over[0]]} over capacity "
+                f"{self.capacities[link]}"
+            )
+        dead_loaded = np.nonzero(self._failed_mask & (load > 0))[0]
+        if dead_loaded.size:
+            link = self.link_index.links[int(dead_loaded[0])]
+            raise SimulationError(
+                f"failed link {link} carries rate {load[dead_loaded[0]]}"
+            )
         for flow in self.flows.values():
             if flow.remaining_bytes < 0:
                 raise SimulationError(f"flow {flow.flow_id} has negative remaining bytes")
@@ -341,27 +435,32 @@ class Network:
 
     # -- internals --------------------------------------------------------------
 
-    def _validate_components(self, flow: Flow) -> None:
+    def _index_components(self, flow: Flow) -> None:
+        """Validate a flow's components and cache their link-id arrays.
+
+        Runs exactly once per start/reroute; every later hot path
+        (counter scatter, CSR assembly, reordering estimate) reuses the
+        arrays cached here.
+        """
+        component_ids: List[np.ndarray] = []
         for component in flow.components:
             if component.path[0] != flow.src or component.path[-1] != flow.dst:
                 raise SimulationError(
                     f"component path {component.path!r} does not connect "
                     f"{flow.src!r} to {flow.dst!r}"
                 )
-            for link in component.links():
-                if link not in self.capacities:
-                    raise SimulationError(f"component uses unknown link {link}")
+            component_ids.append(self.link_index.index_links(component.links()))
+        flow.component_link_ids = component_ids
+        if len(component_ids) == 1:
+            flow.unique_link_ids = np.unique(component_ids[0])
+        else:
+            flow.unique_link_ids = np.unique(np.concatenate(component_ids))
 
     def _adjust_link_counts(self, flow: Flow, delta: int) -> None:
-        seen: set = set()
-        for component in flow.components:
-            for link in component.links():
-                if link in seen:
-                    continue
-                seen.add(link)
-                self._link_total[link] = self._link_total.get(link, 0) + delta
-                if flow.is_elephant:
-                    self._link_elephants[link] = self._link_elephants.get(link, 0) + delta
+        ids = flow.unique_link_ids
+        self._total_array[ids] += delta
+        if flow.is_elephant:
+            self._eleph_array[ids] += delta
 
     def _promote_elephant(self, flow_id: int) -> None:
         flow = self.flows.get(flow_id)
@@ -393,7 +492,9 @@ class Network:
         self._last_settle = self.now
 
     def _request_realloc(self) -> None:
+        self._stat_realloc_requests += 1
         if self._realloc_pending:
+            self._stat_realloc_coalesced += 1
             return
         self._realloc_pending = True
         self.engine.schedule_in(0.0, self._reallocate)
@@ -401,38 +502,55 @@ class Network:
     def _reallocate(self) -> None:
         self._realloc_pending = False
         self._settle()
+        started = perf_counter()
         flows = list(self.flows.values())
-        demands = []
+        component_ids: List[np.ndarray] = []
+        weights: List[float] = []
         owners: List[Tuple[Flow, int]] = []
+        any_failed = bool(self.failed_links)
+        failed_mask = self._failed_mask
         for flow in flows:
-            for idx, component in enumerate(flow.components):
-                links = component.links()
-                if self.failed_links and any(l in self.failed_links for l in links):
+            for idx, ids in enumerate(flow.component_link_ids):
+                if any_failed and failed_mask[ids].any():
                     continue  # dead component: carries nothing until rerouted
-                demands.append((links, component.weight))
+                component_ids.append(ids)
+                weights.append(flow.components[idx].weight)
                 owners.append((flow, idx))
-        rates = maxmin_allocate(demands, self.capacities) if demands else []
+        num_links = len(self.link_index)
+        n = len(component_ids)
         for flow in flows:
             flow.component_rates = [0.0] * len(flow.components)
-        load: Dict[LinkId, float] = {}
-        for (flow, idx), rate, (links, _) in zip(owners, rates, demands):
-            flow.component_rates[idx] = rate
-            for link in links:
-                load[link] = load.get(link, 0.0) + rate
-        self._link_utils = {
-            link: total / self.capacities[link] for link, total in load.items()
-        }
+        if n:
+            lengths = np.fromiter((ids.size for ids in component_ids), dtype=np.intp, count=n)
+            indptr = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(lengths, out=indptr[1:])
+            indices = np.concatenate(component_ids)
+            weight_arr = np.asarray(weights, dtype=float)
+            rates, iterations = maxmin_allocate_indexed(
+                indices, indptr, weight_arr, self._cap_array
+            )
+            for (flow, idx), rate in zip(owners, rates):
+                flow.component_rates[idx] = float(rate)
+            load = link_loads_indexed(indices, indptr, rates, num_links)
+            np.divide(load, self._cap_array, out=self._util_array)
+        else:
+            iterations = 0
+            self._util_array[:] = 0.0
+        self._stat_realloc_calls += 1
+        self._stat_realloc_demands += n
+        self._stat_fill_iterations += iterations
         if self.model_reordering:
             for flow in flows:
                 if len(flow.components) > 1:
-                    flow.reorder_retx_fraction = reordering_retx_fraction(
-                        flow.components,
+                    flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
                         flow.component_rates,
-                        self.link_delays,
-                        self._link_utils,
+                        flow.component_link_ids,
+                        self._delay_array,
+                        self._util_array,
                     )
                 else:
                     flow.reorder_retx_fraction = 0.0
+        self._stat_realloc_time_s += perf_counter() - started
         self._schedule_next_completion()
 
     def _schedule_next_completion(self) -> None:
@@ -465,6 +583,7 @@ class Network:
             if flow.is_elephant:
                 self._current_elephants -= 1
             del self.flows[flow.flow_id]
+            self._stat_flows_completed += 1
             self.records.append(
                 FlowRecord(
                     flow_id=flow.flow_id,

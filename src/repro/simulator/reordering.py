@@ -38,6 +38,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.simulator.flows import FlowComponent
 
 #: Calibration constant (see module docstring).
@@ -68,6 +70,63 @@ def component_delay(
     return prop_total, queue_total
 
 
+def _spread_fraction(
+    rates: Sequence[float],
+    total_rate: float,
+    totals: List[float],
+    queues: List[float],
+    beta: float,
+) -> float:
+    """Shared tail of both entry points: pairwise spread -> retx fraction."""
+    rtt_base = 2.0 * min(totals)
+    if rtt_base <= 0:
+        rtt_base = 1e-6
+    spread_term = 0.0
+    for i in range(len(totals)):
+        p_i = rates[i] / total_rate
+        if p_i <= 0:
+            continue
+        for j in range(i + 1, len(totals)):
+            p_j = rates[j] / total_rate
+            if p_j <= 0:
+                continue
+            gap = abs(totals[i] - totals[j]) + 0.5 * (queues[i] + queues[j])
+            spread_term += p_i * p_j * gap / rtt_base
+    return min(MAX_RETX_FRACTION, beta * spread_term)
+
+
+def reordering_retx_fraction_indexed(
+    rates: Sequence[float],
+    component_link_ids: Sequence[np.ndarray],
+    link_delays: np.ndarray,
+    link_utils: np.ndarray,
+    beta: float = BETA,
+) -> float:
+    """Array-backed fast path of :func:`reordering_retx_fraction`.
+
+    Takes the per-component link-id arrays a network caches at
+    start/reroute time plus its dense per-link delay and utilization
+    arrays; per-path delay estimates become vectorized gathers instead of
+    per-link dict lookups.
+    """
+    if len(component_link_ids) < 2:
+        return 0.0
+    total_rate = sum(rates)
+    if total_rate <= 0:
+        return 0.0
+    totals: List[float] = []
+    queues: List[float] = []
+    for ids in component_link_ids:
+        prop = link_delays[ids]
+        util = np.minimum(link_utils[ids], 0.99)
+        queue = prop * np.minimum(QUEUE_DELAY_CAP_FACTOR, util / (1.0 - util))
+        prop_total = float(prop.sum())
+        queue_total = float(queue.sum())
+        totals.append(prop_total + queue_total)
+        queues.append(queue_total)
+    return _spread_fraction(rates, total_rate, totals, queues, beta)
+
+
 def reordering_retx_fraction(
     components: Sequence[FlowComponent],
     rates: Sequence[float],
@@ -85,18 +144,5 @@ def reordering_retx_fraction(
         component_delay(c, link_delays, link_utils) for c in components
     ]
     totals = [p + q for p, q in delays]
-    rtt_base = 2.0 * min(totals)
-    if rtt_base <= 0:
-        rtt_base = 1e-6
-    spread_term = 0.0
-    for i in range(len(components)):
-        p_i = rates[i] / total_rate
-        if p_i <= 0:
-            continue
-        for j in range(i + 1, len(components)):
-            p_j = rates[j] / total_rate
-            if p_j <= 0:
-                continue
-            gap = abs(totals[i] - totals[j]) + 0.5 * (delays[i][1] + delays[j][1])
-            spread_term += p_i * p_j * gap / rtt_base
-    return min(MAX_RETX_FRACTION, beta * spread_term)
+    queues = [q for _, q in delays]
+    return _spread_fraction(rates, total_rate, totals, queues, beta)

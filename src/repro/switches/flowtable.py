@@ -28,10 +28,20 @@ class FlowTable:
     def __init__(self) -> None:
         self._by_length: Dict[int, Dict[int, int]] = {}
         self._entries: List[TableEntry] = []
+        #: (mask, bucket) probe order, longest prefix first — rebuilt only
+        #: when a new length appears, so lookup (the packet-level hot path)
+        #: never re-sorts or recomputes masks.
+        self._probe_order: List[tuple] = []
 
     def add(self, prefix: Prefix, port: int) -> None:
         """Install a rule; duplicate prefixes with conflicting ports are errors."""
-        bucket = self._by_length.setdefault(prefix.length, {})
+        bucket = self._by_length.get(prefix.length)
+        if bucket is None:
+            bucket = self._by_length[prefix.length] = {}
+            self._probe_order = [
+                (((1 << length) - 1) << (32 - length) if length else 0, table)
+                for length, table in sorted(self._by_length.items(), reverse=True)
+            ]
         existing = bucket.get(prefix.value)
         if existing is not None:
             if existing != port:
@@ -44,9 +54,8 @@ class FlowTable:
 
     def lookup(self, addr: int) -> Optional[int]:
         """The egress port for ``addr``, or ``None`` if nothing matches."""
-        for length in sorted(self._by_length, reverse=True):
-            mask = ((1 << length) - 1) << (32 - length) if length else 0
-            port = self._by_length[length].get(addr & mask)
+        for mask, bucket in self._probe_order:
+            port = bucket.get(addr & mask)
             if port is not None:
                 return port
         return None

@@ -1,0 +1,142 @@
+"""Seeded randomized equivalence: indexed allocator vs string-keyed oracle.
+
+The integer-indexed fast path (``maxmin_allocate_indexed`` + the network's
+CSR reallocation) must produce the same rates as the preserved pre-index
+implementation (``maxmin_allocate_reference``) across random topologies,
+weights, and failure sets. "Same" means within 1e-9 relative tolerance —
+the two paths may pick saturated bottlenecks in a different order when
+shares tie exactly, which perturbs nothing beyond floating-point ulps.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.common.units import MB, MBPS
+from repro.simulator import FlowComponent, Network
+from repro.simulator.maxmin import (
+    maxmin_allocate,
+    maxmin_allocate_reference,
+)
+from repro.topology import FatTree
+
+
+def assert_rates_equal(actual, expected):
+    """Elementwise closeness: 1e-9 relative, 1e-6 absolute (rates ~1e8)."""
+    assert len(actual) == len(expected)
+    for a, e in zip(actual, expected):
+        assert math.isclose(a, e, rel_tol=1e-9, abs_tol=1e-6), (a, e)
+
+
+def random_linkset_case(rng):
+    """A random 'topology': arbitrary directed links + arbitrary demands.
+
+    The allocator only sees link sets, so demands need not be contiguous
+    paths — sampling random subsets exercises every incidence shape.
+    """
+    num_links = rng.randint(2, 40)
+    links = [(f"n{i}", f"n{i}'") for i in range(num_links)]
+    capacities = {link: rng.uniform(10.0, 1000.0) for link in links}
+    demands = []
+    for _ in range(rng.randint(1, 60)):
+        k = rng.randint(1, min(6, num_links))
+        route = tuple(rng.sample(links, k))
+        weight = rng.uniform(0.1, 5.0)
+        demands.append((route, weight))
+    return demands, capacities
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_linksets(self, seed):
+        rng = random.Random(1000 + seed)
+        demands, capacities = random_linkset_case(rng)
+        assert_rates_equal(
+            maxmin_allocate(demands, capacities),
+            maxmin_allocate_reference(demands, capacities),
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fattree_paths_with_failures(self, seed):
+        """Fat-tree equal-cost paths, random weights, random failure sets."""
+        rng = random.Random(2000 + seed)
+        topo = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        hosts = sorted(topo.hosts())
+        all_links = [(l.u, l.v) for l in topo.links()]
+        capacities = {}
+        for u, v in all_links:
+            capacities[(u, v)] = topo.link(u, v).bandwidth_bps
+            capacities[(v, u)] = topo.link(u, v).bandwidth_bps
+        failed = set()
+        for u, v in rng.sample(all_links, rng.randint(0, 3)):
+            failed.add((u, v))
+            failed.add((v, u))
+        demands = []
+        while len(demands) < 40:
+            src, dst = rng.sample(hosts, 2)
+            paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+            path = topo.host_path(src, dst, rng.choice(paths))
+            route = tuple(zip(path, path[1:]))
+            if any(link in failed for link in route):
+                continue  # what the network's reallocator skips
+            demands.append((route, rng.uniform(0.5, 3.0)))
+        assert_rates_equal(
+            maxmin_allocate(demands, capacities),
+            maxmin_allocate_reference(demands, capacities),
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_live_network_matches_oracle(self, seed):
+        """End to end: drive a network through random starts/reroutes/failures
+        and check the rates it settled on against the oracle computed from
+        its own current flow state."""
+        rng = random.Random(3000 + seed)
+        topo = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        net = Network(topo)
+        hosts = sorted(topo.hosts())
+        cables = sorted(
+            (l.u, l.v)
+            for l in topo.links()
+            if topo.node(l.u).kind.is_switch and topo.node(l.v).kind.is_switch
+        )
+        flows = []
+        for step in range(30):
+            action = rng.random()
+            if action < 0.6 or not flows:
+                src, dst = rng.sample(hosts, 2)
+                paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+                comp = FlowComponent(topo.host_path(src, dst, rng.choice(paths)))
+                flows.append(net.start_flow(src, dst, rng.uniform(1, 64) * MB, [comp]))
+            elif action < 0.8:
+                live = [f for f in flows if f.active]
+                if live:
+                    flow = rng.choice(live)
+                    paths = topo.equal_cost_paths(
+                        topo.tor_of(flow.src), topo.tor_of(flow.dst)
+                    )
+                    comp = FlowComponent(
+                        topo.host_path(flow.src, flow.dst, rng.choice(paths))
+                    )
+                    net.reroute_flow(flow, [comp])
+            elif action < 0.9:
+                net.fail_link(*rng.choice(cables))
+            else:
+                for cable in sorted(net.failed_links):
+                    net.restore_link(*cable)
+                    break
+            net.engine.run_until(net.engine.now + rng.uniform(0.05, 2.0))
+
+            # Oracle: string-keyed allocation over the network's live state.
+            demands, owners = [], []
+            for flow in net.flows.values():
+                for idx, component in enumerate(flow.components):
+                    links = component.links()
+                    if net.failed_links and any(l in net.failed_links for l in links):
+                        continue
+                    demands.append((links, component.weight))
+                    owners.append((flow, idx))
+            expected = maxmin_allocate_reference(demands, net.capacities)
+            actual = [flow.component_rates[idx] for flow, idx in owners]
+            assert_rates_equal(actual, expected)
+            net.check_invariants()

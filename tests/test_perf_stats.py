@@ -1,0 +1,80 @@
+"""Regression tests for the network's reallocation telemetry surface."""
+
+import pytest
+
+from repro.common.units import MB, MBPS
+from repro.simulator import FlowComponent, Network
+from repro.topology import FatTree
+
+
+@pytest.fixture
+def topo():
+    return FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+
+
+def _component(topo, src, dst, path_i=0):
+    paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+    return FlowComponent(topo.host_path(src, dst, paths[path_i % len(paths)]))
+
+
+class TestPerfStats:
+    def test_counters_match_event_counts(self, topo):
+        net = Network(topo)
+        pairs = [
+            ("h_0_0_0", "h_1_0_0"),
+            ("h_0_0_1", "h_2_0_0"),
+            ("h_0_1_0", "h_3_0_0"),
+            ("h_1_0_1", "h_2_1_0"),
+        ]
+        flows = [
+            net.start_flow(src, dst, 10 * MB, [_component(topo, src, dst)])
+            for src, dst in pairs
+        ]
+        net.engine.run_until(1.0)
+        net.reroute_flow(flows[0], [_component(topo, *pairs[0], path_i=1)])
+        cable = next(
+            (l.u, l.v)
+            for l in topo.links()
+            if topo.node(l.u).kind.is_switch and topo.node(l.v).kind.is_switch
+        )
+        net.fail_link(*cable)
+        net.restore_link(*cable)
+        net.engine.run_until(500.0)  # long enough for everything to finish
+
+        stats = net.perf_stats()
+        assert stats["flows_started"] == len(pairs)
+        assert stats["flows_completed"] == len(pairs)
+        assert stats["reroutes"] == 1
+        assert stats["realloc_sync"] == 2  # one fail + one restore
+        # Every executed reallocation is either a drained scheduled request
+        # or a synchronous fail/restore call; coalesced requests never run.
+        assert (
+            stats["realloc_calls"]
+            == stats["realloc_requests"] - stats["realloc_coalesced"] + stats["realloc_sync"]
+        )
+        # Starts, the reroute, and per-flow completions each filed a request.
+        assert stats["realloc_requests"] >= len(pairs) + 1
+        assert stats["realloc_calls"] >= 1
+        assert stats["realloc_demands"] >= len(pairs)
+        assert stats["filling_iterations"] >= 1
+        assert stats["realloc_time_s"] > 0.0
+        assert stats["num_links"] == len(net.link_index)
+
+    def test_coalescing_counts_same_instant_requests(self, topo):
+        """Several starts at the same instant fold into one reallocation."""
+        net = Network(topo)
+        for i in range(5):
+            src, dst = f"h_0_0_{i % 2}", f"h_1_0_{i % 2}"
+            net.start_flow(src, dst, 10 * MB, [_component(topo, src, dst, i)])
+        net.engine.run_until(0.0)
+        stats = net.perf_stats()
+        assert stats["realloc_requests"] == 5
+        assert stats["realloc_coalesced"] == 4
+        assert stats["realloc_calls"] == 1
+
+    def test_stats_start_at_zero(self, topo):
+        net = Network(topo)
+        stats = net.perf_stats()
+        assert stats["realloc_calls"] == 0
+        assert stats["realloc_time_s"] == 0.0
+        assert stats["flows_started"] == 0

@@ -6,57 +6,24 @@ the same small scenarios run in both simulators, and the fluid flow
 completion times must track the packet-level ones within tens of percent
 — close enough that scheduler orderings (who wins, by what factor) carry
 over, which is all the paper-shape claims need.
+
+The scenario set and flow size live in :mod:`repro.validation.oracles`
+(the differential-oracle layer enforces the tight 0.81-1.02x band on
+every ``repro validate`` run); this bench reports the same measurements
+with the wider exploratory tolerance.
 """
 
-from repro.common.units import MB, MBPS
 from repro.experiments.figures import ExperimentOutput
-from repro.packetsim import PacketSimulation
-from repro.simulator import FlowComponent, Network
-from repro.topology import FatTree
+from repro.validation.oracles import (
+    FLUID_VS_PACKET_SCENARIOS as SCENARIOS,
+    FLUID_VS_PACKET_SIZE_BYTES as SIZE,
+    run_fluid_vs_packet,
+)
 from conftest import run_once
-
-SCENARIOS = {
-    "single": [("h_0_0_0", "h_1_0_0", 0)],
-    "shared_access": [("h_0_0_0", "h_1_0_0", 0), ("h_0_0_0", "h_2_0_0", 2)],
-    "core_collision": [("h_0_0_0", "h_1_0_0", 0), ("h_0_1_0", "h_1_1_0", 0)],
-    "three_way": [
-        ("h_0_0_0", "h_1_0_0", 0),
-        ("h_0_0_1", "h_2_0_0", 0),
-        ("h_0_1_0", "h_3_0_0", 0),
-    ],
-    "disjoint": [("h_0_0_0", "h_1_0_0", 0), ("h_0_1_0", "h_2_0_1", 3)],
-}
-
-SIZE = 4 * MB
 
 
 def _compare_all():
-    rows = []
-    for name, placements in SCENARIOS.items():
-        packet_sim = PacketSimulation(FatTree(p=4, link_bandwidth_bps=100 * MBPS))
-        for src, dst, index in placements:
-            packet_sim.add_flow(src, dst, SIZE, path_index=index)
-        packet_mean = sum(r.fct_s for r in packet_sim.run()) / len(placements)
-
-        fluid_net = Network(FatTree(p=4, link_bandwidth_bps=100 * MBPS))
-        topo = fluid_net.topology
-        for src, dst, index in placements:
-            path = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))[index]
-            fluid_net.start_flow(
-                src, dst, SIZE, [FlowComponent(topo.host_path(src, dst, path))]
-            )
-        fluid_net.engine.run_until_idle()
-        fluid_mean = sum(r.fct for r in fluid_net.records) / len(placements)
-
-        rows.append(
-            {
-                "scenario": name,
-                "flows": len(placements),
-                "fluid_fct_s": fluid_mean,
-                "packet_fct_s": packet_mean,
-                "ratio": packet_mean / fluid_mean,
-            }
-        )
+    rows = run_fluid_vs_packet(scenarios=SCENARIOS, size_bytes=SIZE, band=None)
     return ExperimentOutput(
         "validation_fluid_vs_packet",
         "Fluid simulator FCT vs packet-level (TCP Reno) ground truth",

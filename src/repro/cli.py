@@ -6,7 +6,11 @@ Subcommands:
 * ``dard run <experiment-id> [--seed N] [--duration S]`` — run one of the
   paper's tables/figures and print the rendered result;
 * ``dard compare --topology ... --pattern ... --rate ...`` — one-off
-  comparison of any scheduler subset on any topology.
+  comparison of any scheduler subset on any topology;
+* ``dard validate [--fuzz]`` — the differential-oracle validation layer:
+  allocator equivalence, the fluid-vs-packet FCT agreement band,
+  golden-trace regression, and (with ``--fuzz``) randomized invariant
+  fuzzing with shrink-on-failure (see TESTING.md).
 """
 
 from __future__ import annotations
@@ -21,6 +25,11 @@ from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.metrics import improvement
 from repro.experiments.report import render_table
 from repro.experiments.runner import SCHEDULERS, ScenarioConfig, run_scenario
+
+
+def _seconds(text: str) -> float:
+    """Parse a duration flag; accepts ``60`` and ``60s``."""
+    return float(text.rstrip("sS"))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +74,48 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--pods", type=int, default=4, help="fat-tree p")
     verify.add_argument("--d", type=int, default=4, help="Clos D_I = D_A")
     verify.add_argument("--max-pairs", type=int, default=500)
+
+    validate = sub.add_parser(
+        "validate", help="run the differential-oracle validation layer"
+    )
+    validate.add_argument(
+        "--fuzz", action="store_true",
+        help="also run the randomized scenario fuzzer",
+    )
+    validate.add_argument(
+        "--seeds", type=int, default=None,
+        help="number of fuzz seeds (default 100 when --fuzz and no --budget)",
+    )
+    validate.add_argument(
+        "--start-seed", type=int, default=0,
+        help="first fuzz seed (reproduce a reported failure)",
+    )
+    validate.add_argument(
+        "--budget", type=_seconds, default=None, metavar="SECONDS",
+        help="wall-clock fuzz budget, e.g. 60 or 60s (stops after the "
+             "case that crosses it)",
+    )
+    validate.add_argument(
+        "--inject-bug", action="store_true",
+        help="self-test: corrupt one capacity array entry per case; the "
+             "oracles must catch it",
+    )
+    validate.add_argument(
+        "--oracle-cases", type=int, default=50,
+        help="random instances for the allocator differential oracle",
+    )
+    validate.add_argument(
+        "--skip-oracles", action="store_true",
+        help="skip the allocator and fluid-vs-packet oracles",
+    )
+    validate.add_argument(
+        "--golden", choices=["compare", "update", "skip"], default="compare",
+        help="golden-trace snapshots: compare against (default), rewrite, or skip",
+    )
+    validate.add_argument(
+        "--golden-path", default=None,
+        help="golden file location (default tests/goldens/golden_traces.json)",
+    )
 
     compare = sub.add_parser("compare", help="ad-hoc scheduler comparison")
     compare.add_argument(
@@ -221,6 +272,82 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.common.errors import ReproError
+    from repro.validation import (
+        DEFAULT_GOLDEN_PATH,
+        allocator_equivalence_suite,
+        compare_goldens,
+        run_fluid_vs_packet,
+        run_fuzz,
+        store_goldens,
+    )
+
+    failed = False
+
+    if not args.skip_oracles:
+        print(f"oracle: allocator equivalence on {args.oracle_cases} random instances ...")
+        try:
+            allocator_equivalence_suite(cases=args.oracle_cases)
+            print("oracle: allocator equivalence OK")
+        except ReproError as error:
+            failed = True
+            print(f"oracle: allocator equivalence FAILED\n  {error}")
+
+        print("oracle: fluid vs packet FCT agreement ...")
+        try:
+            rows = run_fluid_vs_packet()
+            for row in rows:
+                print(
+                    f"  {row['scenario']:14s} fluid={row['fluid_fct_s']:.3f}s "
+                    f"packet={row['packet_fct_s']:.3f}s ratio={row['ratio']:.3f}"
+                )
+            from repro.validation import FCT_AGREEMENT_BAND
+
+            low, high = FCT_AGREEMENT_BAND
+            print(f"oracle: fluid vs packet OK (band {low:.2f}-{high:.2f}x)")
+        except ReproError as error:
+            failed = True
+            print(f"oracle: fluid vs packet FAILED\n  {error}")
+
+    golden_path = args.golden_path or DEFAULT_GOLDEN_PATH
+    if args.golden == "update":
+        store_goldens(golden_path, progress=print)
+        print(f"golden: wrote {golden_path}")
+    elif args.golden == "compare":
+        mismatches = compare_goldens(golden_path, progress=print)
+        if mismatches:
+            failed = True
+            print(f"golden: {len(mismatches)} mismatch(es) against {golden_path}:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"golden: matches {golden_path}")
+
+    if args.fuzz:
+        report = run_fuzz(
+            seeds=args.seeds,
+            budget_s=args.budget,
+            start_seed=args.start_seed,
+            inject_bug=args.inject_bug,
+            progress=print,
+        )
+        print(report.render())
+        if args.inject_bug:
+            # Self-test inverts the verdict: the injected bug MUST be caught.
+            if report.ok:
+                failed = True
+                print("inject-bug: FAILED — the oracles missed the injected bug")
+            else:
+                print("inject-bug: OK — injected bug caught "
+                      f"in {len(report.failures)}/{report.cases} case(s)")
+        elif not report.ok:
+            failed = True
+
+    print("validate: FAILED" if failed else "validate: OK")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -236,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_config(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -28,3 +28,49 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or component was configured with invalid values."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant check failed.
+
+    Structured so machine consumers (the fuzzer, CI reporting) can act on
+    the violation without parsing the message: ``invariant`` names the
+    check that fired, and ``link`` / ``flow_id`` carry the offending
+    entity when one exists. Subclasses :class:`SimulationError` so legacy
+    ``except SimulationError`` handlers keep working.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        link=None,
+        flow_id=None,
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.link = link
+        self.flow_id = flow_id
+        where = ""
+        if link is not None:
+            where += f" link={link}"
+        if flow_id is not None:
+            where += f" flow={flow_id}"
+        super().__init__(f"[{invariant}]{where} {detail}")
+
+
+class OracleViolation(SimulationError):
+    """Two implementations that must agree (a differential oracle) diverged.
+
+    ``oracle`` names the comparison (e.g. ``allocator-equivalence``,
+    ``fluid-vs-packet``); ``subject`` identifies the diverging case
+    (demand index, scenario name, ...).
+    """
+
+    def __init__(self, oracle: str, detail: str, *, subject=None) -> None:
+        self.oracle = oracle
+        self.detail = detail
+        self.subject = subject
+        where = f" subject={subject}" if subject is not None else ""
+        super().__init__(f"[{oracle}]{where} {detail}")

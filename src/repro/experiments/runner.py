@@ -9,7 +9,7 @@ the paper's pairwise improvement numbers meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngStreams
@@ -73,6 +73,9 @@ class ScenarioConfig:
     drain_limit_s: float = 600.0
     #: failure schedule: ("fail" | "restore", time_s, node_u, node_v).
     link_events: tuple = ()
+    #: when > 0, run ``Network.check_invariants()`` every this many sim
+    #: seconds for the whole run (the validation layer's periodic probe).
+    invariant_check_interval_s: float = 0.0
 
 
 @dataclass
@@ -116,13 +119,29 @@ class ScenarioResult:
         return self.control_bytes / self.sim_time_s if self.sim_time_s else 0.0
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build the full stack, drive the workload, and collect results."""
+def run_scenario(
+    config: ScenarioConfig,
+    instrument: Optional[Callable[[Network], None]] = None,
+) -> ScenarioResult:
+    """Build the full stack, drive the workload, and collect results.
+
+    ``instrument`` (optional) is called with the freshly built
+    :class:`Network` before any scheduler, workload, or failure event is
+    wired — the seam the validation layer uses to attach invariant
+    checkers, register oracles, or (in its self-tests) inject bugs,
+    without the runner knowing anything about validation.
+    """
     rngs = RngStreams(config.seed)
     topology = build_topology(config.topology, **config.topology_params)
     addressing = HierarchicalAddressing(topology)
     codec = PathCodec(addressing)
     network = Network(topology, **config.network_params)
+    if instrument is not None:
+        instrument(network)
+    if config.invariant_check_interval_s > 0:
+        network.engine.schedule_every(
+            config.invariant_check_interval_s, network.check_invariants
+        )
     scheduler = make_scheduler(config.scheduler, **config.scheduler_params)
     scheduler.attach(
         SchedulerContext(

@@ -20,7 +20,9 @@ from repro.gametheory.congestion_game import (
 from repro.gametheory.bridge import game_from_network
 from repro.gametheory.study import ConvergenceRow, convergence_study, random_game_on
 from repro.gametheory.theorems import (
+    NashCertificate,
     check_theorem1_bound,
+    nash_certificate,
     run_best_response_dynamics,
 )
 
@@ -28,7 +30,9 @@ __all__ = [
     "CongestionGame",
     "ConvergenceRow",
     "GameFlow",
+    "NashCertificate",
     "check_theorem1_bound",
+    "nash_certificate",
     "compare_state_vectors",
     "convergence_study",
     "game_from_network",

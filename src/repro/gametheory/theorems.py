@@ -96,6 +96,45 @@ class DynamicsResult:
         return len(self.steps)
 
 
+@dataclass(frozen=True)
+class NashCertificate:
+    """Machine-checkable evidence that a strategy is a Nash equilibrium.
+
+    Per flow: its current BoNF and the best deviation's BoNF (equal to the
+    current one when no deviation exists). The strategy is Nash iff no
+    flow can gain more than the game's ``delta_bps`` by moving — exactly
+    what Theorem 2's endpoint must satisfy. The validation layer's
+    differential oracles consume this instead of a bare bool so failures
+    name the deviating flow.
+    """
+
+    strategy: Strategy
+    flow_bonfs: Tuple[float, ...]
+    deviations: Tuple[Optional[int], ...]
+
+    @property
+    def is_nash(self) -> bool:
+        return all(choice is None for choice in self.deviations)
+
+    def first_deviator(self) -> Optional[int]:
+        """Index of the first flow with a δ-improving move, if any."""
+        for i, choice in enumerate(self.deviations):
+            if choice is not None:
+                return i
+        return None
+
+
+def nash_certificate(game: CongestionGame, strategy: Strategy) -> NashCertificate:
+    """Build the per-flow Nash evidence for ``strategy``."""
+    game.validate_strategy(strategy)
+    n = len(game.flows)
+    bonfs = tuple(game.flow_bonf(strategy, i) for i in range(n))
+    deviations = tuple(game.best_response(strategy, i) for i in range(n))
+    return NashCertificate(
+        strategy=tuple(strategy), flow_bonfs=bonfs, deviations=deviations
+    )
+
+
 def run_best_response_dynamics(
     game: CongestionGame,
     strategy: Optional[Strategy] = None,

@@ -44,9 +44,14 @@ class PacketLink:
         self.queued = 0
         self.drops = 0
         self.packets_sent = 0
+        self.up = True
 
     def transmit(self, size_bytes: int, on_arrival: Callable[[], None]) -> bool:
-        """Enqueue a packet; returns False (and counts a drop) if full."""
+        """Enqueue a packet; returns False (and counts a drop) if the
+        queue is full or the link is down."""
+        if not self.up:
+            self.drops += 1
+            return False
         now = self.engine.now
         if self.busy_until <= now:
             self.busy_until = now
@@ -89,6 +94,17 @@ class LinkTable:
         )
         self._links[key] = link
         return link
+
+    def fail(self, u: str, v: str) -> None:
+        """Take both directions of the cable down: packets in flight
+        still arrive (they already left the port), new ones black-hole."""
+        self.link(u, v).up = False
+        self.link(v, u).up = False
+
+    def restore(self, u: str, v: str) -> None:
+        """Bring both directions of the cable back up."""
+        self.link(u, v).up = True
+        self.link(v, u).up = True
 
     def total_drops(self) -> int:
         """Tail drops across every instantiated link."""

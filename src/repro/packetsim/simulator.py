@@ -176,6 +176,14 @@ class PacketSimulation:
         self.engine.schedule_at(start_time_s, begin)
         return flow_id
 
+    def fail_link_at(self, when_s: float, u: str, v: str) -> None:
+        """Schedule both directions of cable ``u — v`` to go down."""
+        self.engine.schedule_at(when_s, lambda: self.links.fail(u, v))
+
+    def restore_link_at(self, when_s: float, u: str, v: str) -> None:
+        """Schedule both directions of cable ``u — v`` to come back up."""
+        self.engine.schedule_at(when_s, lambda: self.links.restore(u, v))
+
     def run(self, deadline_s: float = 600.0) -> List[PacketFlowResult]:
         """Simulate until every flow completes (or the deadline passes)."""
         if not self._flows:

@@ -81,6 +81,8 @@ class TcpSender:
         self._srtt: Optional[float] = None
         self._rto_handle: Optional[EventHandle] = None
         self._send_times = {}
+        self.timeouts = 0
+        self._backoff = 1.0  # exponential RTO multiplier (Karn-style)
 
     # -- window pump --------------------------------------------------------------
 
@@ -114,6 +116,7 @@ class TcpSender:
             newly = cumulative - self.highest_acked
             self.highest_acked = cumulative
             self.dup_acks = 0
+            self._backoff = 1.0  # new data acked: the path is alive again
             self._update_rtt(cumulative - 1)
             for _ in range(newly):
                 if self.cwnd < self.ssthresh:
@@ -154,8 +157,8 @@ class TcpSender:
     @property
     def rto_s(self) -> float:
         if self._srtt is None:
-            return self.params.min_rto_s
-        return max(self.params.min_rto_s, 4.0 * self._srtt)
+            return self.params.min_rto_s * self._backoff
+        return max(self.params.min_rto_s, 4.0 * self._srtt) * self._backoff
 
     def _arm_rto(self) -> None:
         self._cancel_rto()
@@ -176,10 +179,17 @@ class TcpSender:
         resends everything outstanding (cheap segments the receiver
         already has are re-ACKed immediately) and recovers in one RTT
         instead of one RTO per hole.
+
+        Each *consecutive* timeout doubles the RTO (capped at 64x), so a
+        sender facing a black-holed path backs off 50ms, 100ms, 200ms, ...
+        instead of hammering it; the first ACK of new data resets the
+        multiplier.
         """
         self._rto_handle = None
         if self.completed_at is not None or self.highest_acked >= self.total_segments:
             return
+        self.timeouts += 1
+        self._backoff = min(64.0, self._backoff * 2.0)
         self.ssthresh = max(2.0, self.cwnd / 2.0)
         self.cwnd = self.params.initial_cwnd
         self.dup_acks = 0

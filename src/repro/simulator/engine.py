@@ -38,6 +38,28 @@ class EventEngine:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._after_event_hooks: List[Callable[[], None]] = []
+
+    # -- instrumentation ------------------------------------------------------
+
+    def add_after_event_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every processed event (validation probes).
+
+        Hooks fire once per event callback, after it returns and with the
+        clock still at the event's time — the quiescent points where the
+        simulation's invariants must hold. Hooks may schedule new events
+        but must not raise unless the run should abort (the validation
+        layer's invariant checkers raise
+        :class:`~repro.common.errors.InvariantViolation` on purpose).
+        """
+        self._after_event_hooks.append(hook)
+
+    def remove_after_event_hook(self, hook: Callable[[], None]) -> None:
+        """Detach a previously added after-event hook (no-op if absent)."""
+        try:
+            self._after_event_hooks.remove(hook)
+        except ValueError:
+            pass
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``."""
@@ -89,6 +111,9 @@ class EventEngine:
             handle.callback = None
             self._events_processed += 1
             callback()
+            if self._after_event_hooks:
+                for hook in tuple(self._after_event_hooks):
+                    hook()
         self.now = max(self.now, end_time)
 
     def run_until_idle(self, hard_limit: float = float("inf")) -> None:

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import SimulationError
+from repro.common.errors import InvariantViolation, SimulationError
 from repro.common.logging import get_logger
 from repro.topology.multirooted import MultiRootedTopology
 from repro.simulator.engine import EventEngine, EventHandle
@@ -108,7 +108,12 @@ class Network:
         self._total_array = np.zeros(num_links, dtype=np.int64)
         self._eleph_array = np.zeros(num_links, dtype=np.int64)
         self._util_array = np.zeros(num_links, dtype=float)
+        self._peak_util_array = np.zeros(num_links, dtype=float)
         self._failed_mask = np.zeros(num_links, dtype=bool)
+
+        #: extra checks run at the end of :meth:`check_invariants`; the
+        #: validation layer registers its composable invariants here.
+        self.invariant_hooks: List[Callable[["Network"], None]] = []
 
         # Dict-shaped compatibility surfaces over the same storage.
         self.capacities: Dict[LinkId, float] = {
@@ -337,6 +342,27 @@ class Network:
             return 0.0
         return float(self._util_array[index])
 
+    def peak_utilization(self, u: str, v: str) -> float:
+        """Highest allocated utilization ``u -> v`` ever reached this run."""
+        index = self.link_index.ids.get((u, v))
+        if index is None:
+            return 0.0
+        return float(self._peak_util_array[index])
+
+    def peak_utilization_summary(self) -> Dict[str, float]:
+        """Fabric-wide peak-utilization digest (golden-trace material).
+
+        ``max`` is the hottest instantaneous link utilization of the run;
+        ``mean`` averages each link's peak over all links; ``saturated``
+        counts links that ever reached >= 99% utilization.
+        """
+        peaks = self._peak_util_array
+        return {
+            "max": float(peaks.max(initial=0.0)),
+            "mean": float(peaks.mean()) if peaks.size else 0.0,
+            "saturated": int(np.count_nonzero(peaks >= 0.99)),
+        }
+
     # -- telemetry ---------------------------------------------------------------
 
     def perf_stats(self) -> Dict[str, float]:
@@ -372,16 +398,54 @@ class Network:
 
     # -- self-checks --------------------------------------------------------------
 
+    @property
+    def realloc_pending(self) -> bool:
+        """Whether a coalesced zero-delay reallocation is still queued.
+
+        While pending, component rates are stale relative to flow
+        membership — allocation-optimality certificates (the validation
+        layer's KKT check) only hold at quiescent points where this is
+        False. The base invariants checked by :meth:`check_invariants`
+        hold regardless.
+        """
+        return self._realloc_pending
+
+    def live_demand_view(self) -> Tuple[List, List[Tuple[Flow, int]]]:
+        """String-keyed ``(demands, owners)`` of the current live components.
+
+        Mirrors exactly what :meth:`_reallocate` hands the allocator —
+        components crossing a failed link are skipped — but in the
+        string-keyed ``(links, weight)`` form the reference allocator and
+        the differential oracles consume. ``owners[i]`` is the
+        ``(flow, component_index)`` that demand ``i`` belongs to.
+        """
+        demands = []
+        owners: List[Tuple[Flow, int]] = []
+        for flow in self.flows.values():
+            for idx, component in enumerate(flow.components):
+                links = component.links()
+                if self.failed_links and any(l in self.failed_links for l in links):
+                    continue
+                demands.append((links, component.weight))
+                owners.append((flow, idx))
+        return demands, owners
+
     def check_invariants(self) -> None:
-        """Assert the simulation's global invariants; raises on violation.
+        """Check the simulation's global invariants; raises on violation.
 
         Intended for debugging user extensions (custom schedulers,
-        handwritten event sequences): call at any quiescent point. Checks
+        handwritten event sequences) and for the validation layer's
+        continuous checking: call at any quiescent point. Checks
 
         * link flow-counters match a from-scratch recount,
         * no link is allocated beyond capacity,
         * failed links carry no allocated rate,
-        * per-flow byte accounting is sane.
+        * per-flow byte accounting is sane,
+
+        then runs every registered :attr:`invariant_hooks` entry.
+        Violations raise :class:`~repro.common.errors.InvariantViolation`
+        carrying the offending link / flow id, so the fuzzer and CI can
+        report them structurally.
 
         The recount re-derives link ids from component paths — it does not
         trust the per-flow caches it is auditing.
@@ -407,31 +471,43 @@ class Network:
             bad = np.nonzero(actual != expected)[0]
             if bad.size:
                 link = self.link_index.links[int(bad[0])]
-                raise SimulationError(
-                    f"link {link} {name} counter {int(actual[bad[0]])} != recount "
-                    f"{int(expected[bad[0]])}"
+                raise InvariantViolation(
+                    f"{name}-counter",
+                    f"counter {int(actual[bad[0]])} != recount {int(expected[bad[0]])}",
+                    link=link,
                 )
         over = np.nonzero(load > self._cap_array * (1 + 1e-6))[0]
         if over.size:
             link = self.link_index.links[int(over[0])]
-            raise SimulationError(
-                f"link {link} allocated {load[over[0]]} over capacity "
-                f"{self.capacities[link]}"
+            raise InvariantViolation(
+                "link-capacity",
+                f"allocated {load[over[0]]} over capacity {self.capacities[link]}",
+                link=link,
             )
         dead_loaded = np.nonzero(self._failed_mask & (load > 0))[0]
         if dead_loaded.size:
             link = self.link_index.links[int(dead_loaded[0])]
-            raise SimulationError(
-                f"failed link {link} carries rate {load[dead_loaded[0]]}"
+            raise InvariantViolation(
+                "dead-link-load",
+                f"failed link carries rate {load[dead_loaded[0]]}",
+                link=link,
             )
         for flow in self.flows.values():
             if flow.remaining_bytes < 0:
-                raise SimulationError(f"flow {flow.flow_id} has negative remaining bytes")
-            if flow.remaining_bytes > flow.size_bytes + flow.retransmitted_bytes + 1.0:
-                raise SimulationError(
-                    f"flow {flow.flow_id} remaining {flow.remaining_bytes} exceeds "
-                    f"size+retx {flow.size_bytes + flow.retransmitted_bytes}"
+                raise InvariantViolation(
+                    "byte-accounting",
+                    f"negative remaining bytes {flow.remaining_bytes}",
+                    flow_id=flow.flow_id,
                 )
+            if flow.remaining_bytes > flow.size_bytes + flow.retransmitted_bytes + 1.0:
+                raise InvariantViolation(
+                    "byte-accounting",
+                    f"remaining {flow.remaining_bytes} exceeds size+retx "
+                    f"{flow.size_bytes + flow.retransmitted_bytes}",
+                    flow_id=flow.flow_id,
+                )
+        for hook in tuple(self.invariant_hooks):
+            hook(self)
 
     # -- internals --------------------------------------------------------------
 
@@ -533,6 +609,7 @@ class Network:
                 flow.component_rates[idx] = float(rate)
             load = link_loads_indexed(indices, indptr, rates, num_links)
             np.divide(load, self._cap_array, out=self._util_array)
+            np.maximum(self._peak_util_array, self._util_array, out=self._peak_util_array)
         else:
             iterations = 0
             self._util_array[:] = 0.0

@@ -1,0 +1,85 @@
+"""Differential-oracle validation: the paper's claims as machine checks.
+
+Four layers, composable and individually importable:
+
+* :mod:`repro.validation.invariants` — runtime invariant checks (capacity
+  conservation, the max-min KKT certificate, Theorem-1's BoNF bound,
+  static-switch-table preservation, Theorem-2 BoNF monotonicity) plus the
+  :class:`InvariantChecker` that re-runs them continuously off the event
+  engine's after-event hook;
+* :mod:`repro.validation.oracles` — differential oracles: indexed vs
+  reference allocator, live network vs reference, and the fluid simulator
+  vs the packet-level TCP micro-simulator inside the documented
+  0.81-1.02x FCT agreement band;
+* :mod:`repro.validation.fuzz` — seeded randomized scenario fuzzing with
+  shrink-on-failure minimal reproductions;
+* :mod:`repro.validation.snapshot` — golden-trace regression snapshots
+  (store / compare / update).
+
+Everything is driven end to end by ``repro validate`` (see ``cli.py``)
+and documented in TESTING.md.
+"""
+
+from repro.validation.invariants import (
+    DEFAULT_NETWORK_CHECKS,
+    InvariantChecker,
+    SwitchTableSnapshot,
+    check_dynamics_monotone,
+    check_maxmin_certificate,
+    check_network_allocation,
+    check_static_forwarding,
+    check_theorem1_bound_live,
+)
+from repro.validation.oracles import (
+    FCT_AGREEMENT_BAND,
+    FLUID_VS_PACKET_SCENARIOS,
+    allocator_equivalence_suite,
+    check_allocator_equivalence,
+    check_network_against_reference,
+    run_fluid_vs_packet,
+)
+from repro.validation.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    inject_capacity_bug,
+    random_scenario,
+    run_case,
+    run_fuzz,
+    shrink_config,
+)
+from repro.validation.snapshot import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_SCENARIOS,
+    collect_goldens,
+    compare_goldens,
+    store_goldens,
+)
+
+__all__ = [
+    "DEFAULT_GOLDEN_PATH",
+    "DEFAULT_NETWORK_CHECKS",
+    "FCT_AGREEMENT_BAND",
+    "FLUID_VS_PACKET_SCENARIOS",
+    "FuzzFailure",
+    "FuzzReport",
+    "GOLDEN_SCENARIOS",
+    "InvariantChecker",
+    "SwitchTableSnapshot",
+    "allocator_equivalence_suite",
+    "check_allocator_equivalence",
+    "check_dynamics_monotone",
+    "check_maxmin_certificate",
+    "check_network_against_reference",
+    "check_network_allocation",
+    "check_static_forwarding",
+    "check_theorem1_bound_live",
+    "collect_goldens",
+    "compare_goldens",
+    "inject_capacity_bug",
+    "random_scenario",
+    "run_case",
+    "run_fluid_vs_packet",
+    "run_fuzz",
+    "shrink_config",
+    "store_goldens",
+]

@@ -1,0 +1,218 @@
+"""Differential oracles: two independent implementations must agree.
+
+Three oracles:
+
+* **allocator equivalence** — the vectorized integer-indexed fast path
+  (``maxmin_allocate_indexed``, via its string-keyed wrapper) against the
+  preserved pre-index implementation ``maxmin_allocate_reference``, the
+  same 1e-9 contract the equivalence test suite enforces — plus the KKT
+  certificate on the agreed result;
+* **live-network equivalence** — a running :class:`Network`'s settled
+  component rates against a from-scratch reference allocation over its
+  own flow state (catches divergence anywhere in the CSR assembly /
+  caching layer, e.g. a perturbed capacity array entry);
+* **fluid vs packet** — the fluid simulator's FCTs against the
+  packet-level TCP micro-simulator on the documented validation
+  scenarios, enforcing the 0.81-1.02x agreement band from
+  EXPERIMENTS.md ("Validating the fluid-model substitution").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import OracleViolation
+from repro.common.units import MB, MBPS
+from repro.simulator.maxmin import (
+    Demand,
+    LinkId,
+    maxmin_allocate,
+    maxmin_allocate_reference,
+)
+from repro.simulator.network import Network
+from repro.validation.invariants import check_maxmin_certificate
+
+#: The documented fluid-vs-packet FCT agreement band: packet/fluid ratio
+#: observed across every checked scenario (EXPERIMENTS.md, DESIGN.md).
+FCT_AGREEMENT_BAND: Tuple[float, float] = (0.81, 1.02)
+
+#: Slack applied to the band edges — the band endpoints were themselves
+#: measured (0.81 and 1.02 are attained), so exact comparisons at the
+#: edges need room for float rounding.
+_BAND_SLACK = 0.005
+
+#: The validation scenarios: name -> [(src, dst, equal-cost-path index)].
+#: These are the exact placements behind the EXPERIMENTS.md table; the
+#: fluid-vs-packet bench imports this dict so the two stay in lockstep.
+FLUID_VS_PACKET_SCENARIOS: Dict[str, List[Tuple[str, str, int]]] = {
+    "single": [("h_0_0_0", "h_1_0_0", 0)],
+    "shared_access": [("h_0_0_0", "h_1_0_0", 0), ("h_0_0_0", "h_2_0_0", 2)],
+    "core_collision": [("h_0_0_0", "h_1_0_0", 0), ("h_0_1_0", "h_1_1_0", 0)],
+    "three_way": [
+        ("h_0_0_0", "h_1_0_0", 0),
+        ("h_0_0_1", "h_2_0_0", 0),
+        ("h_0_1_0", "h_3_0_0", 0),
+    ],
+    "disjoint": [("h_0_0_0", "h_1_0_0", 0), ("h_0_1_0", "h_2_0_1", 3)],
+}
+
+#: Flow size the agreement band was measured at.
+FLUID_VS_PACKET_SIZE_BYTES = 4 * MB
+
+
+# ---------------------------------------------------------------------------
+# Allocator equivalence
+# ---------------------------------------------------------------------------
+
+def check_allocator_equivalence(
+    demands: Sequence[Demand],
+    capacities: Dict[LinkId, float],
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-6,
+) -> List[float]:
+    """Run both allocators on one instance; raise on any divergence.
+
+    Returns the (agreed) rates. Also KKT-certifies the result, so a case
+    where both implementations agree on a *wrong* answer still fails.
+    """
+    fast = maxmin_allocate(demands, capacities)
+    reference = maxmin_allocate_reference(demands, capacities)
+    if len(fast) != len(reference):
+        raise OracleViolation(
+            "allocator-equivalence",
+            f"{len(fast)} rates from indexed path, {len(reference)} from reference",
+        )
+    for j, (a, b) in enumerate(zip(fast, reference)):
+        if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol):
+            raise OracleViolation(
+                "allocator-equivalence",
+                f"demand {j}: indexed {a!r} != reference {b!r}",
+                subject=j,
+            )
+    if demands:
+        check_maxmin_certificate(demands, reference, capacities)
+    return fast
+
+
+def random_allocation_case(
+    rng: random.Random,
+) -> Tuple[List[Demand], Dict[LinkId, float]]:
+    """A random link-set allocation instance (arbitrary incidence shapes)."""
+    num_links = rng.randint(2, 40)
+    links = [(f"n{i}", f"n{i}'") for i in range(num_links)]
+    capacities = {link: rng.uniform(10.0, 1000.0) for link in links}
+    demands: List[Demand] = []
+    for _ in range(rng.randint(1, 60)):
+        k = rng.randint(1, min(6, num_links))
+        route = tuple(rng.sample(links, k))
+        demands.append((route, rng.uniform(0.1, 5.0)))
+    return demands, capacities
+
+
+def allocator_equivalence_suite(cases: int = 50, seed: int = 0) -> int:
+    """Randomized differential sweep of the two allocators; returns cases run."""
+    for i in range(cases):
+        rng = random.Random(seed * 1_000_003 + i)
+        demands, capacities = random_allocation_case(rng)
+        try:
+            check_allocator_equivalence(demands, capacities)
+        except OracleViolation as violation:
+            raise OracleViolation(
+                violation.oracle,
+                f"case seed=({seed},{i}): {violation.detail}",
+                subject=violation.subject,
+            ) from None
+    return cases
+
+
+def check_network_against_reference(network: Network) -> None:
+    """Oracle the live network's settled rates against the reference allocator.
+
+    Rebuilds the string-keyed demand set from the network's own flow
+    state and the *capacities dict captured at construction time*, so any
+    silent drift in the indexed layer — stale CSR caches, a corrupted
+    capacity array entry, wrong owner bookkeeping — shows up as a
+    divergence. Skips itself while a reallocation is pending (rates are
+    stale by design at those instants).
+    """
+    if network.realloc_pending:
+        return
+    demands, owners = network.live_demand_view()
+    if not demands:
+        return
+    expected = maxmin_allocate_reference(demands, network.capacities)
+    for (flow, idx), want in zip(owners, expected):
+        got = flow.component_rates[idx]
+        if not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-6):
+            raise OracleViolation(
+                "network-vs-reference",
+                f"flow {flow.flow_id} component {idx}: live rate {got!r} != "
+                f"reference {want!r}",
+                subject=flow.flow_id,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fluid vs packet
+# ---------------------------------------------------------------------------
+
+def run_fluid_vs_packet(
+    scenarios: Optional[Dict[str, List[Tuple[str, str, int]]]] = None,
+    size_bytes: float = FLUID_VS_PACKET_SIZE_BYTES,
+    band: Optional[Tuple[float, float]] = FCT_AGREEMENT_BAND,
+) -> List[dict]:
+    """Run each scenario in both simulators; enforce the agreement band.
+
+    Returns one row per scenario (fluid FCT, packet FCT, ratio). With
+    ``band`` set (the default), any scenario whose packet/fluid mean-FCT
+    ratio falls outside it raises :class:`OracleViolation` — the fluid
+    substitution underlying every reproduction number is then no longer
+    trustworthy and the run must fail.
+    """
+    from repro.packetsim import PacketSimulation
+    from repro.simulator import FlowComponent
+    from repro.topology import FatTree
+
+    if scenarios is None:
+        scenarios = FLUID_VS_PACKET_SCENARIOS
+    rows: List[dict] = []
+    for name, placements in scenarios.items():
+        packet_sim = PacketSimulation(FatTree(p=4, link_bandwidth_bps=100 * MBPS))
+        for src, dst, index in placements:
+            packet_sim.add_flow(src, dst, size_bytes, path_index=index)
+        packet_mean = sum(r.fct_s for r in packet_sim.run()) / len(placements)
+
+        fluid_net = Network(FatTree(p=4, link_bandwidth_bps=100 * MBPS))
+        topo = fluid_net.topology
+        for src, dst, index in placements:
+            path = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))[index]
+            fluid_net.start_flow(
+                src, dst, size_bytes, [FlowComponent(topo.host_path(src, dst, path))]
+            )
+        fluid_net.engine.run_until_idle()
+        fluid_net.check_invariants()
+        fluid_mean = sum(r.fct for r in fluid_net.records) / len(placements)
+
+        ratio = packet_mean / fluid_mean
+        rows.append(
+            {
+                "scenario": name,
+                "flows": len(placements),
+                "fluid_fct_s": fluid_mean,
+                "packet_fct_s": packet_mean,
+                "ratio": ratio,
+            }
+        )
+        if band is not None:
+            low, high = band
+            if not (low - _BAND_SLACK <= ratio <= high + _BAND_SLACK):
+                raise OracleViolation(
+                    "fluid-vs-packet",
+                    f"FCT ratio {ratio:.4f} outside agreement band "
+                    f"[{low}, {high}] (fluid {fluid_mean:.4f}s, "
+                    f"packet {packet_mean:.4f}s)",
+                    subject=name,
+                )
+    return rows

@@ -1,0 +1,193 @@
+"""Packet-simulator edge cases: RTO backoff sequencing, fast-retransmit
+racing a link failure, and retransmission accounting when the *final*
+segment of a transfer is dropped."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.packetsim import PacketSimulation, TcpParams
+from repro.packetsim.tcp import TcpReceiver, TcpSender
+from repro.simulator.engine import EventEngine
+from repro.topology import FatTree
+
+
+def topology():
+    return FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+
+
+# ---------------------------------------------------------------------------
+# Exponential RTO backoff
+# ---------------------------------------------------------------------------
+
+class TestRtoBackoff:
+    def test_consecutive_timeouts_double_the_rto(self):
+        """A black-holed sender (every segment vanishes) must retransmit
+        on an exponentially growing schedule: RTO, 2*RTO, 4*RTO, ..."""
+        engine = EventEngine()
+        params = TcpParams(min_rto_s=0.1)
+        sender = TcpSender(engine, 10, lambda seq: None, params)
+        fire_times = []
+        original = sender._on_timeout
+
+        def recording():
+            fire_times.append(engine.now)
+            original()
+
+        sender._on_timeout = recording
+        sender.start()
+        engine.run_until(0.1 * (1 + 2 + 4 + 8) + 0.05)  # room for 4 timeouts
+        assert len(fire_times) == 4
+        gaps = [b - a for a, b in zip(fire_times, fire_times[1:])]
+        # First timeout after base RTO; each later gap doubles.
+        assert fire_times[0] == pytest.approx(0.1)
+        assert gaps == pytest.approx([0.2, 0.4, 0.8])
+        assert sender.timeouts == 4
+
+    def test_backoff_caps_at_64x(self):
+        engine = EventEngine()
+        sender = TcpSender(engine, 10, lambda seq: None, TcpParams(min_rto_s=0.01))
+        sender.start()
+        engine.run_until(10.0)
+        assert sender._backoff == 64.0
+        assert sender.rto_s == pytest.approx(0.01 * 64.0)
+
+    def test_new_data_ack_resets_backoff(self):
+        engine = EventEngine()
+        sender = TcpSender(engine, 10, lambda seq: None, TcpParams(min_rto_s=0.1))
+        sender.start()
+        engine.run_until(0.35)  # two timeouts: backoff now 4x
+        assert sender._backoff == 4.0
+        sender.on_ack(1)  # the path came back and delivered new data
+        assert sender._backoff == 1.0
+        assert sender.rto_s < 0.1 * 4.0
+
+    def test_dupacks_do_not_touch_backoff(self):
+        engine = EventEngine()
+        sender = TcpSender(engine, 10, lambda seq: None, TcpParams(min_rto_s=0.1))
+        sender.start()
+        engine.run_until(0.15)  # one timeout: backoff 2x
+        assert sender._backoff == 2.0
+        sender.on_ack(0)  # duplicate ACK, no new data
+        assert sender._backoff == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Fast retransmit racing a link failure
+# ---------------------------------------------------------------------------
+
+class TestFailureRaces:
+    def test_flow_survives_mid_transfer_failure_and_restore(self):
+        """Fail the flow's only path mid-transfer, restore it shortly
+        after: the sender must recover via RTO backoff and finish, with
+        the stall visible in both FCT and retransmission count."""
+        topo = topology()
+        sim = PacketSimulation(topo, params=TcpParams(min_rto_s=0.05))
+        sim.add_flow("h_0_0_0", "h_1_0_0", 2_000_000, path_index=0)
+        path = topo.host_path(
+            "h_0_0_0", "h_1_0_0",
+            topo.equal_cost_paths("tor_0_0", "tor_1_0")[0],
+        )
+        u, v = path[2], path[3]  # a switch-switch hop mid-path
+        sim.fail_link_at(0.05, u, v)
+        sim.restore_link_at(0.30, u, v)
+        (result,) = sim.run(deadline_s=60.0)
+        clean = PacketSimulation(topology(), params=TcpParams(min_rto_s=0.05))
+        clean.add_flow("h_0_0_0", "h_1_0_0", 2_000_000, path_index=0)
+        (baseline,) = clean.run(deadline_s=60.0)
+        assert result.retransmissions > baseline.retransmissions
+        assert result.fct_s > baseline.fct_s + 0.2  # the outage is visible
+        assert result.fct_s < 60.0
+
+    def test_fast_retransmit_during_failure_window(self):
+        """Two-path striping with one path failed: the live path's ACKs
+        turn into duplicate ACKs for the black-holed segments, so fast
+        retransmit fires *while the failure is still in place* and reroutes
+        recovery over the surviving path — no RTO stall required."""
+        topo = topology()
+        sim = PacketSimulation(topo, params=TcpParams(min_rto_s=5.0))
+        switch_paths = topo.equal_cost_paths("tor_0_0", "tor_1_0")
+        paths = [
+            topo.host_path("h_0_0_0", "h_1_0_0", switch_paths[0]),
+            topo.host_path("h_0_0_0", "h_1_0_0", switch_paths[1]),
+        ]
+        sim.add_flow(
+            "h_0_0_0", "h_1_0_0", 1_500_000, paths=paths, weights=[0.5, 0.5]
+        )
+        # Kill a hop unique to path 0 for one segment's serialization time
+        # (1500 B at 100 Mbps = 0.12 ms) mid-transfer, once the congestion
+        # window holds plenty of in-flight segments whose ACKs become the
+        # duplicate ACKs. The micro-outage blackholes a segment or two —
+        # the loss pattern Reno fast retransmit recovers without an RTO
+        # (a longer outage leaves multiple holes, which cumulative-ACK
+        # recovery can only clear by timeout; that regime is the previous
+        # test's). min_rto_s=5 is far beyond the transfer, so completing
+        # fast proves the RTO never fired.
+        unique = next(
+            (a, b) for a, b in zip(paths[0][1:-1], paths[0][2:-1])
+            if (a, b) not in set(zip(paths[1], paths[1][1:]))
+        )
+        sim.fail_link_at(0.05000, *unique)
+        sim.restore_link_at(0.05012, *unique)
+        (result,) = sim.run(deadline_s=30.0)
+        assert result.retransmissions > 0
+        assert result.fct_s < 5.0  # finished without ever waiting out an RTO
+        assert sim._flows[0].sender.timeouts == 0
+        assert sim.total_drops > 0  # the dead link really blackholed packets
+
+    def test_drops_counted_on_downed_link(self):
+        topo = topology()
+        sim = PacketSimulation(topo)
+        sim.add_flow("h_0_0_0", "h_1_0_0", 150_000, path_index=0)
+        sim.fail_link_at(0.0, "tor_0_0", "agg_0_0")
+        sim.restore_link_at(0.5, "tor_0_0", "agg_0_0")
+        (result,) = sim.run(deadline_s=30.0)
+        link = sim.links.link("tor_0_0", "agg_0_0")
+        assert link.drops > 0
+        assert link.up
+
+
+# ---------------------------------------------------------------------------
+# Final-segment drop accounting
+# ---------------------------------------------------------------------------
+
+class TestFinalSegmentDrop:
+    def run_with_blackholed_seq(self, drop_seq, total=8):
+        """Loopback harness: every segment is delivered after a fixed
+        delay except ``drop_seq``, which vanishes exactly once."""
+        engine = EventEngine()
+        receiver = TcpReceiver(total)
+        dropped = []
+
+        def send(seq):
+            if seq == drop_seq and not dropped:
+                dropped.append(seq)
+                return
+            engine.schedule_in(
+                0.001, lambda: sender.on_ack(receiver.on_segment(seq))
+            )
+
+        sender = TcpSender(engine, total, send, TcpParams(min_rto_s=0.05))
+        sender.start()
+        engine.run_until(5.0)
+        return sender, receiver
+
+    def test_final_segment_drop_recovers_via_rto(self):
+        """The last segment has no successors to generate dupacks, so the
+        only recovery is the RTO; accounting must show exactly that."""
+        sender, receiver = self.run_with_blackholed_seq(drop_seq=7, total=8)
+        assert sender.completed_at is not None
+        assert receiver.complete
+        assert sender.timeouts == 1
+        assert sender.retransmissions == 1  # the resent final segment, only
+
+    def test_middle_drop_recovers_via_dupacks_without_timeout(self):
+        sender, receiver = self.run_with_blackholed_seq(drop_seq=2, total=16)
+        assert sender.completed_at is not None
+        assert sender.retransmissions >= 1
+        assert sender.timeouts == 0  # dupacks got there first
+
+    def test_completion_time_reflects_the_rto_stall(self):
+        fast_sender, _ = self.run_with_blackholed_seq(drop_seq=2, total=16)
+        slow_sender, _ = self.run_with_blackholed_seq(drop_seq=15, total=16)
+        assert slow_sender.completed_at > 0.05  # waited out one full RTO
+        assert fast_sender.completed_at < slow_sender.completed_at

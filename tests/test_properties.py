@@ -7,11 +7,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.addressing import HierarchicalAddressing, PathCodec
+from repro.addressing import (
+    EncapsulationModule,
+    HierarchicalAddressing,
+    IdMapper,
+    Packet,
+    PathCodec,
+)
 from repro.addressing.prefix import Prefix
+from repro.common.errors import AddressingError, RoutingError
 from repro.gametheory import CongestionGame, GameFlow, run_best_response_dynamics
 from repro.gametheory.theorems import check_theorem1_bound
-from repro.simulator.maxmin import link_utilizations, maxmin_allocate
+from repro.simulator.maxmin import (
+    link_utilizations,
+    maxmin_allocate,
+    maxmin_allocate_reference,
+)
 from repro.switches import SwitchFabric
 from repro.topology import FatTree
 
@@ -90,6 +101,164 @@ class TestCodecFabricAgreement:
         chain = data.draw(st.sampled_from(sorted(addressing.addresses_of(host))))
         addr = addressing.address_of(host, chain)
         assert addressing.owner_of(addr) == (host, chain)
+
+
+# ---------------------------------------------------------------------------
+# Encapsulation roundtrip under adversarial addresses
+# ---------------------------------------------------------------------------
+
+class TestEncapsulationProperties:
+    @given(data=st.data(), payload=st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_forward_unwrap_roundtrip(self, stack, data, payload):
+        """Any (src, dst, path, payload): encapsulate -> fabric-forward ->
+        decapsulate returns the exact inner packet."""
+        topo, addressing, codec, fabric = stack
+        mapper = IdMapper(topo.hosts())
+        hosts = sorted(topo.hosts())
+        src = data.draw(st.sampled_from(hosts))
+        dst = data.draw(st.sampled_from([h for h in hosts if h != src]))
+        path = data.draw(
+            st.sampled_from(topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst)))
+        )
+        tx = EncapsulationModule(src, codec, mapper)
+        rx = EncapsulationModule(dst, codec, mapper)
+        tx.set_path(dst, path)
+        packet = Packet(
+            src_id=mapper.id_of(src), dst_id=mapper.id_of(dst), payload=payload
+        )
+        wrapped = tx.encapsulate(packet)
+        trace = fabric.forward_trace(src, wrapped.outer_src, wrapped.outer_dst)
+        assert trace == (src,) + path + (dst,)
+        assert rx.decapsulate(wrapped) == packet
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_misdelivery_always_detected(self, stack, data):
+        """A wrapped packet handed to any host other than its destination
+        must be rejected, never silently unwrapped."""
+        topo, addressing, codec, fabric = stack
+        mapper = IdMapper(topo.hosts())
+        hosts = sorted(topo.hosts())
+        src = data.draw(st.sampled_from(hosts))
+        dst = data.draw(st.sampled_from([h for h in hosts if h != src]))
+        thief = data.draw(st.sampled_from([h for h in hosts if h != dst]))
+        path = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))[0]
+        tx = EncapsulationModule(src, codec, mapper)
+        tx.set_path(dst, path)
+        wrapped = tx.encapsulate(
+            Packet(src_id=mapper.id_of(src), dst_id=mapper.id_of(dst))
+        )
+        with pytest.raises(RoutingError):
+            EncapsulationModule(thief, codec, mapper).decapsulate(wrapped)
+
+    @given(addr=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_adversarial_addresses_never_misattributed(self, stack, addr):
+        """owner_of on an arbitrary 32-bit address either resolves to a
+        host that really owns it (round-trips) or raises AddressingError —
+        it never fabricates an owner."""
+        topo, addressing, codec, fabric = stack
+        try:
+            host, chain = addressing.owner_of(addr)
+        except AddressingError:
+            return
+        assert addressing.address_of(host, chain) == addr
+
+    @given(data=st.data(), addr=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_fabric_never_loops_on_adversarial_headers(self, stack, data, addr):
+        """Injecting an arbitrary destination address at any host either
+        traces to a real node or raises cleanly — no infinite forwarding."""
+        topo, addressing, codec, fabric = stack
+        src = data.draw(st.sampled_from(sorted(topo.hosts())))
+        src_addr = sorted(addressing.addresses_of(src))[0]
+        try:
+            trace = fabric.forward_trace(
+                src, addressing.address_of(src, src_addr), addr
+            )
+        except (AddressingError, RoutingError):
+            return
+        assert len(trace) <= len(topo.nodes) + 1
+
+
+# ---------------------------------------------------------------------------
+# Indexed-vs-reference allocator on degraded networks
+# ---------------------------------------------------------------------------
+
+@st.composite
+def degraded_network_case(draw):
+    """A fluid network plus a degradation schedule: flows to start, links
+    to fail, links to restore — the states where the indexed fast path's
+    caches are most likely to go stale."""
+    pair_count = draw(st.integers(min_value=1, max_value=6))
+    fail_count = draw(st.integers(min_value=0, max_value=3))
+    restore_count = draw(st.integers(min_value=0, max_value=fail_count))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return pair_count, fail_count, restore_count, seed
+
+
+class TestAllocatorOnDegradedNetworks:
+    @given(degraded_network_case())
+    @settings(max_examples=25, deadline=None)
+    def test_live_rates_match_reference_after_failures(self, case):
+        from repro.common.units import MBPS
+        from repro.simulator import FlowComponent
+        from repro.simulator.network import Network
+        from repro.validation import check_network_against_reference
+
+        pair_count, fail_count, restore_count, seed = case
+        rng = np.random.default_rng(seed)
+        net = Network(FatTree(p=4, link_bandwidth_bps=100 * MBPS))
+        topo = net.topology
+        hosts = sorted(topo.hosts())
+        for _ in range(pair_count):
+            src, dst = (hosts[i] for i in rng.choice(len(hosts), 2, replace=False))
+            paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+            path = paths[int(rng.integers(len(paths)))]
+            net.start_flow(
+                src, dst, 64e6, [FlowComponent(topo.host_path(src, dst, path))]
+            )
+        cables = sorted(
+            {(u, v) for u, v in net.capacities if (v, u) >= (u, v)}
+        )
+        switch_cables = [
+            (u, v) for u, v in cables
+            if topo.node(u).kind.is_switch and topo.node(v).kind.is_switch
+        ]
+        failed = []
+        for _ in range(fail_count):
+            u, v = switch_cables[int(rng.integers(len(switch_cables)))]
+            if net.link_is_up(u, v):
+                net.fail_link(u, v)
+                failed.append((u, v))
+        for u, v in failed[:restore_count]:
+            net.restore_link(u, v)
+        net.engine.run_until(net.engine.now + 0.001)  # settle the realloc
+        net.check_invariants()
+        check_network_against_reference(net)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_capacity_links_rejected_identically(self, seed):
+        """A zero-capacity link in use must fail the same way through both
+        implementations, never diverge silently."""
+        from repro.common.errors import SimulationError
+        import random as stdlib_random
+        from repro.validation.oracles import random_allocation_case
+
+        demands, capacities = random_allocation_case(stdlib_random.Random(seed))
+        dead = demands[0][0][0]
+        capacities = dict(capacities)
+        capacities[dead] = 0.0
+        with pytest.raises(SimulationError):
+            maxmin_allocate(demands, capacities)
+        with pytest.raises(SimulationError):
+            maxmin_allocate_reference(demands, capacities)
+
+    def test_empty_demands_agree(self):
+        assert maxmin_allocate([], {("a", "b"): 1.0}) == []
+        assert maxmin_allocate_reference([], {("a", "b"): 1.0}) == []
 
 
 # ---------------------------------------------------------------------------

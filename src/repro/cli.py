@@ -49,6 +49,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--csv", default=None, help="also write the rows to this CSV file")
     run_cmd.add_argument("--json", default=None, help="also write the full output to this JSON file")
+    run_cmd.add_argument(
+        "--profile", default=None, metavar="PSTATS_FILE",
+        help="profile the command under cProfile: dump pstats to this file "
+             "and print the top 20 functions by cumulative time",
+    )
 
     analyze = sub.add_parser("analyze", help="structural report of a topology")
     analyze.add_argument(
@@ -115,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--golden-path", default=None,
         help="golden file location (default tests/goldens/golden_traces.json)",
+    )
+    validate.add_argument(
+        "--profile", default=None, metavar="PSTATS_FILE",
+        help="profile the command under cProfile: dump pstats to this file "
+             "and print the top 20 functions by cumulative time",
     )
 
     compare = sub.add_parser("compare", help="ad-hoc scheduler comparison")
@@ -278,6 +288,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         DEFAULT_GOLDEN_PATH,
         allocator_equivalence_suite,
         compare_goldens,
+        compare_goldens_incremental,
         run_fluid_vs_packet,
         run_fuzz,
         store_goldens,
@@ -323,6 +334,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 print(f"  {line}")
         else:
             print(f"golden: matches {golden_path}")
+    if args.golden in ("compare", "update"):
+        # The incremental reallocator must reproduce the full-mode goldens
+        # bit-for-bit (convergence round counts excepted) — checked after
+        # both compare and update so a rewritten golden is validated too.
+        mismatches = compare_goldens_incremental(golden_path, progress=print)
+        if mismatches:
+            failed = True
+            print(f"golden[incremental]: {len(mismatches)} mismatch(es) "
+                  f"against {golden_path}:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"golden[incremental]: matches {golden_path}")
 
     if args.fuzz:
         report = run_fuzz(
@@ -348,9 +372,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -366,6 +388,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         return _cmd_validate(args)
     return 2  # pragma: no cover - argparse enforces choices
+
+
+def _run_profiled(args: argparse.Namespace, pstats_path: str) -> int:
+    """Run a subcommand under cProfile; dump stats and print a summary."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = _dispatch(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(pstats_path)
+        print(f"\nprofile: pstats written to {pstats_path}")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        return _run_profiled(args, profile_path)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

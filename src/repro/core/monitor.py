@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Set
 
+import numpy as np
+
 from repro.scheduling.messages import MessageLedger, MessageSizes
 from repro.simulator.network import Network
 from repro.topology.multirooted import MultiRootedTopology, SwitchPath
@@ -69,6 +71,31 @@ class PathMonitor:
         #: scheduling round, so an O(P) list scan adds up at scale.
         self._path_index: dict = {tuple(p): i for i, p in enumerate(self.paths)}
         self.query_switches = switches_to_query(network.topology, src_tor, dst_tor)
+        # Intern every monitored path's switch-switch link ids once, at
+        # registration: each polling round is then a single vectorized
+        # batch_path_state over one CSR instead of per-path dict walks.
+        # Same-ToR pairs have the single length-1 path with no links to
+        # monitor; they are excluded from the CSR and answered statically.
+        path_link_ids = [
+            network.index_switch_path(path) if len(path) > 1 else None
+            for path in self.paths
+        ]
+        self._monitored: List[int] = [
+            i for i, ids in enumerate(path_link_ids) if ids is not None
+        ]
+        monitored_ids = [path_link_ids[i] for i in self._monitored]
+        if monitored_ids:
+            lengths = np.fromiter(
+                (ids.size for ids in monitored_ids),
+                dtype=np.intp,
+                count=len(monitored_ids),
+            )
+            self._csr_indptr = np.zeros(len(monitored_ids) + 1, dtype=np.intp)
+            np.cumsum(lengths, out=self._csr_indptr[1:])
+            self._csr_indices = np.concatenate(monitored_ids)
+        else:
+            self._csr_indptr = np.zeros(1, dtype=np.intp)
+            self._csr_indices = np.empty(0, dtype=np.intp)
         self.path_states: List[PathState] = [
             PathState(bandwidth_bps=0.0, flow_numbers=0) for _ in self.paths
         ]
@@ -81,19 +108,19 @@ class PathMonitor:
         self.ledger.record("dard_query", self.message_sizes.dard_query, n)
         self.ledger.record("dard_reply", self.message_sizes.dard_reply, n)
         self.queries_sent += n
-        states = []
-        for path in self.paths:
-            if len(path) == 1:
-                # Same-ToR pair: no switch-switch link to monitor.
-                states.append(PathState(bandwidth_bps=float("inf"), flow_numbers=0))
-                continue
-            link_state = self.network.path_state(path, skip_host_links=True)
-            states.append(
-                PathState(
+        # Same-ToR paths have no switch-switch link to monitor.
+        states = [
+            PathState(bandwidth_bps=float("inf"), flow_numbers=0) for _ in self.paths
+        ]
+        if self._monitored:
+            link_states = self.network.batch_path_state(
+                self._csr_indices, self._csr_indptr
+            )
+            for position, link_state in zip(self._monitored, link_states):
+                states[position] = PathState(
                     bandwidth_bps=link_state.bandwidth_bps,
                     flow_numbers=link_state.elephant_flows,
                 )
-            )
         self.path_states = states
         return states
 

@@ -18,6 +18,7 @@ explicitly where they matter:
   flow is striped across.
 """
 
+from repro.simulator.components import FlowLinkComponents
 from repro.simulator.engine import EventEngine
 from repro.simulator.flows import Flow, FlowComponent, FlowRecord
 from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
@@ -27,6 +28,7 @@ from repro.simulator.maxmin import (
     maxmin_allocate,
     maxmin_allocate_indexed,
     maxmin_allocate_reference,
+    scatter_link_loads,
 )
 from repro.simulator.network import LinkState, Network
 from repro.simulator.reordering import reordering_retx_fraction
@@ -35,6 +37,7 @@ __all__ = [
     "EventEngine",
     "Flow",
     "FlowComponent",
+    "FlowLinkComponents",
     "FlowRecord",
     "LinkArrayMapping",
     "LinkIndex",
@@ -46,4 +49,5 @@ __all__ = [
     "maxmin_allocate_indexed",
     "maxmin_allocate_reference",
     "reordering_retx_fraction",
+    "scatter_link_loads",
 ]

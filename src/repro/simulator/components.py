@@ -1,0 +1,203 @@
+"""Connected components of the flow-link incidence graph.
+
+Weighted max-min allocation decomposes exactly across the connected
+components of the bipartite incidence graph (flows x the links they
+cross): progressive filling's arithmetic on a link only ever reads and
+writes state of demands crossing that link, so water-filling each
+component in isolation produces bit-identical rates to one global fill
+(see DESIGN.md "Component decomposition"). :class:`FlowLinkComponents`
+maintains that partition online so the network can re-fill **only the
+components a membership change touched**.
+
+The structure is a union-find over dense link ids (the network's
+:class:`~repro.simulator.linkindex.LinkIndex` universe) with a flow-id
+set attached to each live root:
+
+* **attach** (flow start / reroute landing) unions the flow's links into
+  one component and marks its root dirty;
+* **detach** (flow completion / reroute leaving) removes the flow from
+  its root's set and marks the root dirty — the union structure itself is
+  *not* split, so after departures a "component" may over-approximate the
+  true partition. Over-approximation is safe (re-filling extra demands is
+  still exact) but erodes the incremental win, so departures are counted
+  and the owner periodically calls :meth:`rebuild` — the
+  rebuild-on-departure *epoch* rule;
+* **consume_dirty** pops the dirty set, yielding every flow that must be
+  re-water-filled this round.
+
+Dirty marks survive unions: merging two roots moves the absorbed root's
+dirty mark (and flow set) onto the surviving root, so the dirty set only
+ever names live roots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["FlowLinkComponents"]
+
+
+class FlowLinkComponents:
+    """Union-find over link ids with per-component flow sets + dirty marks."""
+
+    __slots__ = ("_parent", "_size", "_flow_sets", "_dirty", "departures")
+
+    def __init__(self, num_links: int) -> None:
+        self._parent: List[int] = list(range(num_links))
+        self._size: List[int] = [1] * num_links
+        #: live root -> ids of flows attached to that component. Roots with
+        #: no flows have no entry, so ``len(_flow_sets)`` is the live
+        #: component count.
+        self._flow_sets: Dict[int, Set[int]] = {}
+        #: roots invalidated since the last :meth:`consume_dirty`.
+        self._dirty: Set[int] = set()
+        #: detaches since the last :meth:`rebuild`; the owner uses this to
+        #: decide when the over-approximated partition is worth recomputing.
+        self.departures = 0
+
+    # -- union-find core -----------------------------------------------------
+
+    def find(self, link_id: int) -> int:
+        """Root of the component containing ``link_id`` (path-compressing)."""
+        parent = self._parent
+        root = link_id
+        while parent[root] != root:
+            root = parent[root]
+        while parent[link_id] != root:
+            parent[link_id], link_id = root, parent[link_id]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        """Merge two distinct roots; returns the surviving root.
+
+        Union by size; the absorbed root's flow set merges small-into-large
+        and its dirty mark (if any) transfers to the survivor.
+        """
+        if self._size[a] < self._size[b]:
+            a, b = b, a
+        self._parent[b] = a
+        self._size[a] += self._size[b]
+        absorbed = self._flow_sets.pop(b, None)
+        if absorbed is not None:
+            surviving = self._flow_sets.get(a)
+            if surviving is None:
+                self._flow_sets[a] = absorbed
+            elif len(surviving) < len(absorbed):
+                absorbed.update(surviving)
+                self._flow_sets[a] = absorbed
+            else:
+                surviving.update(absorbed)
+        if b in self._dirty:
+            self._dirty.discard(b)
+            self._dirty.add(a)
+        return a
+
+    def _attach_links(self, flow_id: int, link_ids: Iterable[int]) -> int:
+        """Union a flow's links into one component and record membership."""
+        it = iter(link_ids)
+        root = self.find(next(it))
+        for link_id in it:
+            other = self.find(link_id)
+            if other != root:
+                root = self._union(root, other)
+        self._flow_sets.setdefault(root, set()).add(flow_id)
+        return root
+
+    # -- membership events ---------------------------------------------------
+
+    def attach(self, flow_id: int, link_ids) -> None:
+        """A flow landed on these links; its component becomes dirty.
+
+        ``link_ids`` is the flow's sorted unique link-id array (every
+        component of a striped flow included — striping conservatively
+        merges the strands' components, which is an over-approximation the
+        exactness argument tolerates).
+        """
+        root = self._attach_links(flow_id, link_ids.tolist())
+        self._dirty.add(root)
+
+    def detach(self, flow_id: int, link_ids) -> None:
+        """A flow left these links; its component becomes dirty.
+
+        The union structure keeps the (possibly now disconnected) merge —
+        splits only happen at the next :meth:`rebuild` epoch.
+        """
+        root = self.find(int(link_ids[0]))
+        members = self._flow_sets.get(root)
+        if members is not None:
+            members.discard(flow_id)
+            if not members:
+                del self._flow_sets[root]
+        self._dirty.add(root)
+        self.departures += 1
+
+    # -- dirty-set consumption -----------------------------------------------
+
+    def consume_dirty(self) -> Tuple[int, List[int]]:
+        """Pop the dirty set: ``(live components touched, sorted flow ids)``.
+
+        ``flow ids`` is every flow in any dirty component, ascending —
+        ascending order matches the network's flow-dict iteration order, so
+        a dirty-only CSR preserves the full assembly's per-link arithmetic
+        sequence (the bit-exactness requirement). Dirty roots whose flows
+        all departed contribute no flows and are not counted as touched.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        touched = 0
+        flow_ids: Set[int] = set()
+        for root in dirty:
+            members = self._flow_sets.get(root)
+            if members:
+                touched += 1
+                flow_ids.update(members)
+        return touched, sorted(flow_ids)
+
+    @property
+    def dirty_count(self) -> int:
+        """Dirty roots currently pending (testing/telemetry convenience)."""
+        return len(self._dirty)
+
+    @property
+    def live_components(self) -> int:
+        """Number of components currently carrying at least one flow."""
+        return len(self._flow_sets)
+
+    # -- epochs ----------------------------------------------------------------
+
+    def rebuild(self, flows) -> None:
+        """Recompute the partition from scratch over the live flows.
+
+        Starts a fresh epoch: resets the union structure, re-attaches every
+        flow (splitting any departure-stale merges), clears the dirty set
+        and the departure counter. Called by the network after every full
+        fill and whenever :attr:`departures` crosses its epoch threshold.
+        """
+        num_links = len(self._parent)
+        self._parent = list(range(num_links))
+        self._size = [1] * num_links
+        self._flow_sets = {}
+        self._dirty = set()
+        self.departures = 0
+        for flow in flows:
+            self._attach_links(flow.flow_id, flow.unique_link_ids.tolist())
+
+    # -- introspection (invariant checks, tests) -------------------------------
+
+    def membership_audit(self) -> Tuple[Set[int], int]:
+        """``(union of all flow sets, total memberships)`` for auditing.
+
+        A healthy structure has ``total memberships == len(union)`` (no
+        flow in two components) and the union equal to the network's live
+        flow-id set.
+        """
+        tracked: Set[int] = set()
+        total = 0
+        for members in self._flow_sets.values():
+            tracked.update(members)
+            total += len(members)
+        return tracked, total
+
+    def component_flow_sets(self) -> List[frozenset]:
+        """The live components' flow-id sets (test introspection)."""
+        return [frozenset(members) for members in self._flow_sets.values()]

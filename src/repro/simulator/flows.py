@@ -96,6 +96,16 @@ class Flow:
         return sum(self.component_rates)
 
     @property
+    def goodput_bps(self) -> float:
+        """Rate net of reordering-induced retransmissions.
+
+        The completion-scheduling rate: remaining bytes drain at this
+        speed. Kept as one shared definition so the network's ETA
+        computation and any external telemetry agree bit-for-bit.
+        """
+        return self.rate_bps * (1.0 - self.reorder_retx_fraction)
+
+    @property
     def active(self) -> bool:
         return self.end_time is None
 

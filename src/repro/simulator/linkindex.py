@@ -16,7 +16,7 @@ straight through to the underlying array.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, MutableMapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,13 +33,14 @@ class LinkIndex:
     and propagation delays ride along as arrays aligned to the ids.
     """
 
-    __slots__ = ("ids", "links", "capacities", "delays")
+    __slots__ = ("ids", "links", "capacities", "delays", "switch_link_mask")
 
     def __init__(
         self,
         links: Sequence[LinkId],
         capacities: Iterable[float],
         delays: Iterable[float],
+        switch_link_mask: Optional[np.ndarray] = None,
     ) -> None:
         self.links: List[LinkId] = list(links)
         self.ids: Dict[LinkId, int] = {link: i for i, link in enumerate(self.links)}
@@ -51,6 +52,15 @@ class LinkIndex:
             self.links
         ):
             raise SimulationError("LinkIndex arrays must align with the link list")
+        #: per-id bool: both endpoints are switches. ``path_state``-style
+        #: queries use it to drop host access hops without re-consulting the
+        #: topology per call. Indexes built without topology knowledge
+        #: (direct construction in allocator tests) default to all-True.
+        if switch_link_mask is None:
+            switch_link_mask = np.ones(len(self.links), dtype=bool)
+        self.switch_link_mask = np.asarray(switch_link_mask, dtype=bool)
+        if self.switch_link_mask.shape[0] != len(self.links):
+            raise SimulationError("LinkIndex arrays must align with the link list")
 
     @classmethod
     def from_topology(cls, topology) -> "LinkIndex":
@@ -58,12 +68,16 @@ class LinkIndex:
         links: List[LinkId] = []
         caps: List[float] = []
         delays: List[float] = []
+        switchy: List[bool] = []
         for u, v in topology.directed_links():
             link = topology.link(u, v)
             links.append((u, v))
             caps.append(link.bandwidth_bps)
             delays.append(link.delay_s)
-        return cls(links, caps, delays)
+            switchy.append(
+                topology.node(u).kind.is_switch and topology.node(v).kind.is_switch
+            )
+        return cls(links, caps, delays, np.asarray(switchy, dtype=bool))
 
     def __len__(self) -> int:
         return len(self.links)

@@ -382,6 +382,25 @@ def maxmin_allocate_reference(
     return rates.tolist()
 
 
+def scatter_link_loads(
+    load: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    rates: np.ndarray,
+) -> None:
+    """Accumulate per-demand rates onto an existing load array, in place.
+
+    The scatter runs in ascending-demand order (``np.add.at`` accumulates
+    repeated indices in array order), which is the same float addition
+    sequence :func:`link_loads_indexed` performs from scratch — so a
+    persistent load array maintained by zeroing a component's links and
+    re-scattering its demands stays bit-identical to a full recomputation,
+    the contract the incremental reallocator relies on.
+    """
+    demand_of = np.repeat(np.arange(indptr.shape[0] - 1, dtype=np.intp), np.diff(indptr))
+    np.add.at(load, indices, np.asarray(rates, dtype=float)[demand_of])
+
+
 def link_loads_indexed(
     indices: np.ndarray,
     indptr: np.ndarray,
@@ -395,8 +414,7 @@ def link_loads_indexed(
     :func:`link_utilizations` wraps it for external callers.
     """
     load = np.zeros(num_links, dtype=float)
-    demand_of = np.repeat(np.arange(indptr.shape[0] - 1, dtype=np.intp), np.diff(indptr))
-    np.add.at(load, indices, np.asarray(rates, dtype=float)[demand_of])
+    scatter_link_loads(load, indices, indptr, rates)
     return load
 
 

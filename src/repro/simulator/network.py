@@ -24,6 +24,25 @@ reused by counter updates, reallocation, reordering estimates, and
 invariant checks. The reallocator hands the allocator pre-built CSR demand
 arrays, so the per-event hot path never hashes a ``(str, str)`` link key.
 :meth:`perf_stats` exposes the reallocation telemetry.
+
+Incremental reallocation (the default; see DESIGN.md "Component
+decomposition"): max-min allocation decomposes exactly across connected
+components of the flow-link incidence graph, so each coalesced realloc
+re-water-fills only the components invalidated since the last one —
+tracked by a :class:`~repro.simulator.components.FlowLinkComponents`
+union-find — and splices the new rates into the persistent per-link load
+array. Failure transitions and departure epochs fall back to a full fill
+(which also rebuilds the partition). Rates, loads, utilizations, FCTs, and
+the event sequence are bit-identical to full reallocation; only the
+``filling_iterations`` count differs (per-component fills count symmetric
+cross-component ties as separate rounds). Construct with
+``incremental_realloc=False`` to force the full fill every round.
+
+Monitoring queries are vectorized the same way: :meth:`batch_path_state`
+evaluates every monitored path's bottleneck BoNF in one pass over the
+dense capacity/elephant/failure arrays from precomputed per-path link-id
+CSR rows (see :meth:`index_switch_path`), replacing per-link
+:meth:`link_state` loops in DARD's :class:`~repro.core.monitor.PathMonitor`.
 """
 
 from __future__ import annotations
@@ -37,6 +56,7 @@ import numpy as np
 from repro.common.errors import InvariantViolation, SimulationError
 from repro.common.logging import get_logger
 from repro.topology.multirooted import MultiRootedTopology
+from repro.simulator.components import FlowLinkComponents
 from repro.simulator.engine import EventEngine, EventHandle
 from repro.simulator.flows import (
     ELEPHANT_AGE_S,
@@ -50,10 +70,19 @@ from repro.simulator.maxmin import (
     LinkId,
     link_loads_indexed,
     maxmin_allocate_indexed,
+    scatter_link_loads,
 )
 from repro.simulator.reordering import reordering_retx_fraction_indexed
 
 _BYTES_EPSILON = 1.0  # flows within one byte of done are done
+
+#: Departure-epoch rule: a dirty refill triggers a partition rebuild once
+#: departures since the last rebuild reach ``min(MAX, max(MIN, live // 2))``
+#: — rarely enough to amortize the O(flows x path length) rebuild, often
+#: enough that departure-stale merges cannot silently grow components back
+#: toward a global fill.
+_EPOCH_MIN_DEPARTURES = 16
+_EPOCH_MAX_DEPARTURES = 256
 
 Listener = Callable[[Flow], None]
 
@@ -93,12 +122,14 @@ class Network:
         elephant_age_s: float = ELEPHANT_AGE_S,
         path_switch_retx_bytes: float = PATH_SWITCH_RETX_BYTES,
         model_reordering: bool = True,
+        incremental_realloc: bool = True,
     ) -> None:
         self.topology = topology
         self.engine = engine if engine is not None else EventEngine()
         self.elephant_age_s = elephant_age_s
         self.path_switch_retx_bytes = path_switch_retx_bytes
         self.model_reordering = model_reordering
+        self.incremental_realloc = bool(incremental_realloc)
 
         #: the per-network intern table; all per-link arrays align to it.
         self.link_index = LinkIndex.from_topology(topology)
@@ -110,6 +141,23 @@ class Network:
         self._util_array = np.zeros(num_links, dtype=float)
         self._peak_util_array = np.zeros(num_links, dtype=float)
         self._failed_mask = np.zeros(num_links, dtype=bool)
+        #: persistent per-link allocated load (bits/s). Full fills rewrite
+        #: it wholesale; dirty fills zero and re-scatter only the touched
+        #: component's links (bit-exact either way, see scatter_link_loads).
+        self._load_array = np.zeros(num_links, dtype=float)
+
+        #: live flow-link component partition (None = full fills only).
+        self._components: Optional[FlowLinkComponents] = (
+            FlowLinkComponents(num_links) if self.incremental_realloc else None
+        )
+        #: the next _reallocate must run the full fill: set initially, and
+        #: by fail/restore (failure transitions change which demands are
+        #: excluded everywhere, not just in dirty components).
+        self._force_full = True
+        #: unique-link-id arrays of flows that departed (completion, or the
+        #: old path at reroute) since the last fill — their load entries
+        #: are zeroed by the next dirty refill.
+        self._retired_link_ids: List[np.ndarray] = []
 
         #: extra checks run at the end of :meth:`check_invariants`; the
         #: validation layer registers its composable invariants here.
@@ -159,6 +207,17 @@ class Network:
         self._stat_flows_started = 0
         self._stat_flows_completed = 0
         self._stat_reroutes = 0
+        # Incremental-reallocation telemetry (see perf_stats).
+        self._stat_realloc_full = 0
+        self._stat_realloc_incremental = 0
+        self._stat_realloc_subset = 0
+        self._stat_components_touched = 0
+        self._stat_components_live = 0
+        self._stat_component_rebuilds = 0
+        self._stat_flows_rerated = 0
+        self._stat_flows_preserved = 0
+        self._stat_events_rescheduled = 0
+        self._stat_events_preserved = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -194,6 +253,8 @@ class Network:
             flow.path_history.append(flow.components[0].path)
         self.flows[flow.flow_id] = flow
         self._adjust_link_counts(flow, +1)
+        if self._components is not None:
+            self._components.attach(flow.flow_id, flow.unique_link_ids)
         self._stat_flows_started += 1
         self.engine.schedule_in(
             self.elephant_age_s, lambda fid=flow.flow_id: self._promote_elephant(fid)
@@ -221,10 +282,17 @@ class Network:
             raise SimulationError(f"cannot reroute finished flow {flow.flow_id}")
         self._settle()
         self._adjust_link_counts(flow, -1)
+        if self._components is not None:
+            # The old links' component is dirty (this flow's load leaves it)
+            # and the old link ids must be zeroed out of the load array.
+            self._components.detach(flow.flow_id, flow.unique_link_ids)
+            self._retired_link_ids.append(flow.unique_link_ids)
         flow.components = list(components)
         self._index_components(flow)
         flow.component_rates = [0.0] * len(flow.components)
         self._adjust_link_counts(flow, +1)
+        if self._components is not None:
+            self._components.attach(flow.flow_id, flow.unique_link_ids)
         self._stat_reroutes += 1
         if count_switch:
             flow.path_switches += 1
@@ -275,7 +343,10 @@ class Network:
         self._failed_mask[self.link_index.id_of((u, v))] = True
         self._failed_mask[self.link_index.id_of((v, u))] = True
         # Reallocate synchronously: a dead cable must carry nothing from
-        # this instant, not from the next event-loop turn.
+        # this instant, not from the next event-loop turn. Failure
+        # transitions change which demands are excluded fabric-wide, so the
+        # fill must be global, not dirty-component-scoped.
+        self._force_full = True
         self._stat_realloc_sync += 1
         self._reallocate()
         for listener in self.link_failed_listeners:
@@ -291,6 +362,7 @@ class Network:
         self.failed_links.discard((v, u))
         self._failed_mask[self.link_index.id_of((u, v))] = False
         self._failed_mask[self.link_index.id_of((v, u))] = False
+        self._force_full = True
         self._stat_realloc_sync += 1
         self._reallocate()
         for listener in self.link_restored_listeners:
@@ -315,25 +387,79 @@ class Network:
             total_flows=int(self._total_array[index]),
         )
 
+    def index_switch_path(self, path: Sequence[str]) -> np.ndarray:
+        """Link-id array of a node path's switch-switch hops.
+
+        The registration-time half of vectorized monitoring: monitors call
+        this once per monitored path and reuse the ids (stacked into CSR
+        rows) on every :meth:`batch_path_state` poll, so the per-poll hot
+        path never hashes a ``(str, str)`` link key. Unknown links raise
+        :class:`~repro.common.errors.SimulationError`.
+        """
+        ids = self.link_index.index_path(path)
+        return ids[self.link_index.switch_link_mask[ids]]
+
+    def batch_path_state(
+        self, indices: np.ndarray, indptr: np.ndarray
+    ) -> List[LinkState]:
+        """Bottleneck :class:`LinkState` of many paths in one array pass.
+
+        ``indices``/``indptr`` are a CSR over link ids: path ``k`` crosses
+        ``indices[indptr[k]:indptr[k + 1]]`` (each row non-empty, e.g. from
+        :meth:`index_switch_path`). Returns one state per path — the
+        *first* minimum-BoNF link of each row, matching the sequential
+        ``min()`` tie-breaking of :meth:`path_state` exactly.
+        """
+        num_paths = int(indptr.shape[0]) - 1
+        if num_paths <= 0:
+            return []
+        lengths = np.diff(indptr)
+        if not np.all(lengths > 0):
+            raise SimulationError("batch_path_state rows must be non-empty")
+        band = np.where(self._failed_mask[indices], 0.0, self._cap_array[indices])
+        eleph = self._eleph_array[indices]
+        # LinkState.bonf, vectorized: 0 when down, inf when elephant-free.
+        bonf = np.where(
+            band <= 0.0,
+            0.0,
+            np.where(eleph > 0, band / np.maximum(eleph, 1), np.inf),
+        )
+        starts = indptr[:-1]
+        best = np.minimum.reduceat(bonf, starts)
+        nnz = int(indices.shape[0])
+        position = np.where(
+            bonf == np.repeat(best, lengths), np.arange(nnz, dtype=np.intp), nnz
+        )
+        first = np.minimum.reduceat(position, starts)
+        chosen = indices[first]
+        return [
+            LinkState(
+                bandwidth_bps=float(bandwidth),
+                elephant_flows=int(elephants),
+                total_flows=int(total),
+            )
+            for bandwidth, elephants, total in zip(
+                band[first].tolist(),
+                self._eleph_array[chosen].tolist(),
+                self._total_array[chosen].tolist(),
+            )
+        ]
+
     def path_state(self, path: Sequence[str], skip_host_links: bool = True) -> LinkState:
         """The most-congested-link state along a node path (paper §2.5).
 
         ``skip_host_links`` drops the first/last host-switch hop — a flow
         cannot route around those, so DARD excludes them from BoNF (§2.2).
+        One-path wrapper over :meth:`batch_path_state`; registered monitors
+        skip the per-call indexing via :meth:`index_switch_path`.
         """
-        links = list(zip(path, path[1:]))
+        ids = self.link_index.index_path(path)
         if skip_host_links:
-            links = [
-                (u, v)
-                for u, v in links
-                if self.topology.node(u).kind.is_switch and self.topology.node(v).kind.is_switch
-            ]
-        if not links:
+            ids = ids[self.link_index.switch_link_mask[ids]]
+        if ids.size == 0:
             raise SimulationError(f"path {path!r} has no switch-switch links")
-        return min(
-            (self.link_state(u, v) for u, v in links),
-            key=lambda state: state.bonf,
-        )
+        indptr = np.array([0, ids.size], dtype=np.intp)
+        return self.batch_path_state(ids, indptr)[0]
 
     def utilization(self, u: str, v: str) -> float:
         """Most recent allocated utilization of the directed link ``u -> v``."""
@@ -381,6 +507,25 @@ class Network:
         * ``flows_started`` / ``flows_completed`` / ``reroutes`` — event
           counts, for cross-checking the counters above;
         * ``num_links`` — size of the link index.
+
+        Incremental-reallocation keys (all zero with
+        ``incremental_realloc=False`` except the full-fill counter):
+
+        * ``realloc_full`` / ``realloc_incremental`` — fills that ran
+          globally vs dirty-component-scoped (they sum to
+          ``realloc_calls``);
+        * ``realloc_subset`` — incremental fills that touched a *strict*
+          subset of the live components (the locality win);
+        * ``components_touched`` / ``components_live`` — dirty vs live
+          component totals summed over incremental fills;
+        * ``component_rebuilds`` — partition rebuilds (one per full fill
+          plus departure epochs);
+        * ``flows_rerated`` / ``flows_preserved`` — flows re-water-filled
+          vs left untouched, summed over incremental fills;
+        * ``events_rescheduled`` / ``events_preserved`` — completion-event
+          updates whose fire time moved vs stayed identical (preserved
+          events are still cancel+re-pushed so event ordering stays
+          deterministic; see ``EventEngine.reschedule``).
         """
         return {
             "realloc_calls": self._stat_realloc_calls,
@@ -394,6 +539,16 @@ class Network:
             "flows_completed": self._stat_flows_completed,
             "reroutes": self._stat_reroutes,
             "num_links": len(self.link_index),
+            "realloc_full": self._stat_realloc_full,
+            "realloc_incremental": self._stat_realloc_incremental,
+            "realloc_subset": self._stat_realloc_subset,
+            "components_touched": self._stat_components_touched,
+            "components_live": self._stat_components_live,
+            "component_rebuilds": self._stat_component_rebuilds,
+            "flows_rerated": self._stat_flows_rerated,
+            "flows_preserved": self._stat_flows_preserved,
+            "events_rescheduled": self._stat_events_rescheduled,
+            "events_preserved": self._stat_events_preserved,
         }
 
     # -- self-checks --------------------------------------------------------------
@@ -492,6 +647,27 @@ class Network:
                 f"failed link carries rate {load[dead_loaded[0]]}",
                 link=link,
             )
+        # The persistent load array must match the recount whenever rates
+        # are settled (while a realloc is pending, rates are stale by design).
+        if not self._realloc_pending and not np.allclose(
+            load, self._load_array, rtol=1e-9, atol=1e-6
+        ):
+            bad = int(np.nonzero(~np.isclose(load, self._load_array, rtol=1e-9, atol=1e-6))[0][0])
+            raise InvariantViolation(
+                "persistent-load",
+                f"load array {self._load_array[bad]!r} != recount {load[bad]!r}",
+                link=self.link_index.links[bad],
+            )
+        if self._components is not None:
+            tracked, memberships = self._components.membership_audit()
+            live = set(self.flows)
+            if tracked != live or memberships != len(live):
+                raise InvariantViolation(
+                    "component-membership",
+                    f"{memberships} memberships over {len(tracked)} tracked flows "
+                    f"vs {len(live)} live (missing {sorted(live - tracked)[:5]}, "
+                    f"stale {sorted(tracked - live)[:5]})",
+                )
         for flow in self.flows.values():
             if flow.remaining_bytes < 0:
                 raise InvariantViolation(
@@ -575,11 +751,15 @@ class Network:
         self._realloc_pending = True
         self.engine.schedule_in(0.0, self._reallocate)
 
-    def _reallocate(self) -> None:
-        self._realloc_pending = False
-        self._settle()
-        started = perf_counter()
-        flows = list(self.flows.values())
+    def _assemble_demands(
+        self, flows: Sequence[Flow]
+    ) -> Tuple[List[np.ndarray], List[float], List[Tuple[Flow, int]]]:
+        """Per-component (link-id arrays, weights, owners) of live demands.
+
+        Components crossing a failed link are skipped — they carry nothing
+        until rerouted. Shared by the full fill, the dirty refill, and
+        :meth:`demand_csr`, so the three can never drift apart.
+        """
         component_ids: List[np.ndarray] = []
         weights: List[float] = []
         owners: List[Tuple[Flow, int]] = []
@@ -592,15 +772,60 @@ class Network:
                 component_ids.append(ids)
                 weights.append(flow.components[idx].weight)
                 owners.append((flow, idx))
+        return component_ids, weights, owners
+
+    @staticmethod
+    def _build_csr(component_ids: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(component_ids)
+        lengths = np.fromiter((ids.size for ids in component_ids), dtype=np.intp, count=n)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.concatenate(component_ids)
+        return indices, indptr
+
+    def demand_csr(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[Flow, int]]]:
+        """``(indices, indptr, weights, owners)`` over all live demands.
+
+        Exactly the CSR a full fill would run on right now — the
+        incremental-vs-full differential oracle feeds this to
+        ``maxmin_allocate_indexed`` and demands bit-equality with the live
+        ``component_rates``.
+        """
+        component_ids, weights, owners = self._assemble_demands(list(self.flows.values()))
+        if not component_ids:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.zeros(1, dtype=np.intp),
+                np.zeros(0, dtype=float),
+                owners,
+            )
+        indices, indptr = self._build_csr(component_ids)
+        return indices, indptr, np.asarray(weights, dtype=float), owners
+
+    def _reallocate(self) -> None:
+        self._realloc_pending = False
+        self._settle()
+        started = perf_counter()
+        if self._components is None or self._force_full:
+            self._refill_full()
+        else:
+            self._refill_dirty()
+        self._stat_realloc_calls += 1
+        self._stat_realloc_time_s += perf_counter() - started
+        self._schedule_next_completion()
+
+    def _refill_full(self) -> None:
+        """Global water-fill over every live demand (the reference path)."""
+        flows = list(self.flows.values())
+        component_ids, weights, owners = self._assemble_demands(flows)
         num_links = len(self.link_index)
         n = len(component_ids)
         for flow in flows:
             flow.component_rates = [0.0] * len(flow.components)
         if n:
-            lengths = np.fromiter((ids.size for ids in component_ids), dtype=np.intp, count=n)
-            indptr = np.zeros(n + 1, dtype=np.intp)
-            np.cumsum(lengths, out=indptr[1:])
-            indices = np.concatenate(component_ids)
+            indices, indptr = self._build_csr(component_ids)
             weight_arr = np.asarray(weights, dtype=float)
             rates, iterations = maxmin_allocate_indexed(
                 indices, indptr, weight_arr, self._cap_array
@@ -608,12 +833,13 @@ class Network:
             for (flow, idx), rate in zip(owners, rates):
                 flow.component_rates[idx] = float(rate)
             load = link_loads_indexed(indices, indptr, rates, num_links)
+            self._load_array = load
             np.divide(load, self._cap_array, out=self._util_array)
             np.maximum(self._peak_util_array, self._util_array, out=self._peak_util_array)
         else:
             iterations = 0
+            self._load_array[:] = 0.0
             self._util_array[:] = 0.0
-        self._stat_realloc_calls += 1
         self._stat_realloc_demands += n
         self._stat_fill_iterations += iterations
         if self.model_reordering:
@@ -627,24 +853,112 @@ class Network:
                     )
                 else:
                     flow.reorder_retx_fraction = 0.0
-        self._stat_realloc_time_s += perf_counter() - started
-        self._schedule_next_completion()
+        self._stat_realloc_full += 1
+        comps = self._components
+        if comps is not None:
+            # A full fill leaves nothing dirty and resets the epoch.
+            comps.rebuild(self.flows.values())
+            self._retired_link_ids.clear()
+            self._stat_component_rebuilds += 1
+            self._force_full = False
+
+    def _refill_dirty(self) -> None:
+        """Water-fill only the components invalidated since the last fill.
+
+        Exact by component decomposition (see DESIGN.md): every demand of a
+        dirty component is re-filled against the links' full capacities
+        (compacted to the touched ids — ``np.unique`` preserves relative
+        order, so bottleneck selection and heap tie-breaking are unchanged),
+        while untouched components keep their rates, loads, utilizations,
+        and reordering fractions bit-for-bit.
+        """
+        comps = self._components
+        touched, dirty_flow_ids = comps.consume_dirty()
+        flows = self.flows
+        dirty_flows = [flows[flow_id] for flow_id in dirty_flow_ids]
+        component_ids, weights, owners = self._assemble_demands(dirty_flows)
+        n = len(component_ids)
+        for flow in dirty_flows:
+            flow.component_rates = [0.0] * len(flow.components)
+        retired = self._retired_link_ids
+        touched_links: Optional[np.ndarray] = None
+        if n:
+            indices, indptr = self._build_csr(component_ids)
+            weight_arr = np.asarray(weights, dtype=float)
+            touched_links = np.unique(indices)
+            sub_indices = np.searchsorted(touched_links, indices)
+            rates, iterations = maxmin_allocate_indexed(
+                sub_indices, indptr, weight_arr, self._cap_array[touched_links]
+            )
+            for (flow, idx), rate in zip(owners, rates):
+                flow.component_rates[idx] = float(rate)
+        else:
+            iterations = 0
+        # Splice: zero every link the dirty demands (or departed flows)
+        # touch, re-scatter the new rates, refresh util/peak on those links.
+        if retired:
+            parts = retired + ([touched_links] if touched_links is not None else [])
+            zero_ids = np.unique(np.concatenate(parts)) if len(parts) > 1 else np.unique(parts[0])
+            retired.clear()
+        else:
+            zero_ids = touched_links
+        if zero_ids is not None and zero_ids.size:
+            self._load_array[zero_ids] = 0.0
+            if n:
+                scatter_link_loads(self._load_array, indices, indptr, rates)
+            self._util_array[zero_ids] = (
+                self._load_array[zero_ids] / self._cap_array[zero_ids]
+            )
+            np.maximum.at(self._peak_util_array, zero_ids, self._util_array[zero_ids])
+        self._stat_realloc_demands += n
+        self._stat_fill_iterations += iterations
+        if self.model_reordering:
+            for flow in dirty_flows:
+                if len(flow.components) > 1:
+                    flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
+                        flow.component_rates,
+                        flow.component_link_ids,
+                        self._delay_array,
+                        self._util_array,
+                    )
+                else:
+                    flow.reorder_retx_fraction = 0.0
+        live = comps.live_components
+        self._stat_realloc_incremental += 1
+        self._stat_components_touched += touched
+        self._stat_components_live += live
+        if touched < live:
+            self._stat_realloc_subset += 1
+        self._stat_flows_rerated += len(dirty_flows)
+        self._stat_flows_preserved += len(flows) - len(dirty_flows)
+        # Departure epoch: the union structure only over-approximates across
+        # detaches; rebuild before stale merges erode the locality win.
+        if comps.departures >= min(
+            _EPOCH_MAX_DEPARTURES, max(_EPOCH_MIN_DEPARTURES, len(flows) // 2)
+        ):
+            comps.rebuild(flows.values())
+            self._stat_component_rebuilds += 1
 
     def _schedule_next_completion(self) -> None:
-        if self._completion_handle is not None:
-            self._completion_handle.cancel()
-            self._completion_handle = None
+        old_handle = self._completion_handle
+        self._completion_handle = None
         soonest = float("inf")
         for flow in self.flows.values():
-            goodput_bps = flow.rate_bps * (1.0 - flow.reorder_retx_fraction)
+            goodput_bps = flow.goodput_bps
             if goodput_bps <= 0:
                 continue
             eta = (flow.remaining_bytes * 8.0) / goodput_bps
             soonest = min(soonest, eta)
         if soonest < float("inf"):
-            self._completion_handle = self.engine.schedule_in(
-                max(soonest, 0.0), self._on_completion_event
+            self._completion_handle, preserved = self.engine.reschedule(
+                old_handle, max(soonest, 0.0), self._on_completion_event
             )
+            if preserved:
+                self._stat_events_preserved += 1
+            else:
+                self._stat_events_rescheduled += 1
+        elif old_handle is not None:
+            old_handle.cancel()
 
     def _on_completion_event(self) -> None:
         self._completion_handle = None
@@ -657,6 +971,9 @@ class Network:
         for flow in finished:
             flow.end_time = self.now
             self._adjust_link_counts(flow, -1)
+            if self._components is not None:
+                self._components.detach(flow.flow_id, flow.unique_link_ids)
+                self._retired_link_ids.append(flow.unique_link_ids)
             if flow.is_elephant:
                 self._current_elephants -= 1
             del self.flows[flow.flow_id]

@@ -38,6 +38,12 @@ class MultiRootedTopology(Topology):
         super().__init__()
         self._paths_cache: Dict[Tuple[str, str], List[SwitchPath]] = {}
         self._tor_cache: Dict[str, str] = {}
+        # Adjacency is immutable once a topology is built (failures are
+        # modeled in the Network, never by graph surgery), so layer-filtered
+        # neighbor lists can be memoized. The control plane asks for them
+        # per scheduling round per daemon — a hot path at scale.
+        self._up_cache: Dict[str, List[str]] = {}
+        self._down_cache: Dict[str, List[str]] = {}
 
     # -- layer helpers -------------------------------------------------------
 
@@ -54,14 +60,26 @@ class MultiRootedTopology(Topology):
         return self.nodes_of_kind(NodeKind.TOR)
 
     def up_neighbors(self, name: str) -> List[str]:
-        """Neighbors one layer above ``name``."""
-        layer = self.node(name).kind.layer
-        return [n for n in self.neighbors(name) if self.node(n).kind.layer == layer + 1]
+        """Neighbors one layer above ``name`` (memoized; returns a copy)."""
+        cached = self._up_cache.get(name)
+        if cached is None:
+            layer = self.node(name).kind.layer
+            cached = [
+                n for n in self.neighbors(name) if self.node(n).kind.layer == layer + 1
+            ]
+            self._up_cache[name] = cached
+        return list(cached)
 
     def down_neighbors(self, name: str) -> List[str]:
-        """Neighbors one layer below ``name``."""
-        layer = self.node(name).kind.layer
-        return [n for n in self.neighbors(name) if self.node(n).kind.layer == layer - 1]
+        """Neighbors one layer below ``name`` (memoized; returns a copy)."""
+        cached = self._down_cache.get(name)
+        if cached is None:
+            layer = self.node(name).kind.layer
+            cached = [
+                n for n in self.neighbors(name) if self.node(n).kind.layer == layer - 1
+            ]
+            self._down_cache[name] = cached
+        return list(cached)
 
     def tor_of(self, host: str) -> str:
         """The ToR switch a host hangs off (hosts are single-homed)."""

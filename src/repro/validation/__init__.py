@@ -8,8 +8,9 @@ Four layers, composable and individually importable:
   :class:`InvariantChecker` that re-runs them continuously off the event
   engine's after-event hook;
 * :mod:`repro.validation.oracles` — differential oracles: indexed vs
-  reference allocator, live network vs reference, and the fluid simulator
-  vs the packet-level TCP micro-simulator inside the documented
+  reference allocator, live network vs reference, the incremental
+  component-scoped reallocator vs a bit-exact full refill, and the fluid
+  simulator vs the packet-level TCP micro-simulator inside the documented
   0.81-1.02x FCT agreement band;
 * :mod:`repro.validation.fuzz` — seeded randomized scenario fuzzing with
   shrink-on-failure minimal reproductions;
@@ -35,6 +36,7 @@ from repro.validation.oracles import (
     FLUID_VS_PACKET_SCENARIOS,
     allocator_equivalence_suite,
     check_allocator_equivalence,
+    check_incremental_against_full,
     check_network_against_reference,
     run_fluid_vs_packet,
 )
@@ -52,6 +54,7 @@ from repro.validation.snapshot import (
     GOLDEN_SCENARIOS,
     collect_goldens,
     compare_goldens,
+    compare_goldens_incremental,
     store_goldens,
 )
 
@@ -68,6 +71,7 @@ __all__ = [
     "allocator_equivalence_suite",
     "check_allocator_equivalence",
     "check_dynamics_monotone",
+    "check_incremental_against_full",
     "check_maxmin_certificate",
     "check_network_against_reference",
     "check_network_allocation",
@@ -75,6 +79,7 @@ __all__ = [
     "check_theorem1_bound_live",
     "collect_goldens",
     "compare_goldens",
+    "compare_goldens_incremental",
     "inject_capacity_bug",
     "random_scenario",
     "run_case",

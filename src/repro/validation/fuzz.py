@@ -111,6 +111,10 @@ def inject_capacity_bug(network) -> None:
     tor = network.topology.tor_of(host)
     for link in ((host, tor), (tor, host)):
         network._cap_array[network.link_index.id_of(link)] *= 0.6
+    # Arm a full refill: an incremental network with nothing dirty would
+    # otherwise keep its pre-corruption (still consistent) rates and the
+    # bug would not manifest until some demand touched the cable.
+    network._force_full = True
 
 
 def run_case(
@@ -122,15 +126,19 @@ def run_case(
 
     Attaches an :class:`~repro.validation.invariants.InvariantChecker`
     (base invariants + KKT certificate + Theorem-1 bound + static-table
-    preservation) and the network-vs-reference differential oracle to the
-    engine, checking every ``every_n_events`` processed events and once
+    preservation) plus the network-vs-reference and incremental-vs-full
+    differential oracles to the engine,
+    checking every ``every_n_events`` processed events and once
     more after the run drains. ``corrupt`` (used by ``--inject-bug``)
     runs against the freshly built network before any traffic starts.
     """
     from repro.addressing import HierarchicalAddressing, PathCodec
     from repro.switches import SwitchFabric
     from repro.validation.invariants import InvariantChecker
-    from repro.validation.oracles import check_network_against_reference
+    from repro.validation.oracles import (
+        check_incremental_against_full,
+        check_network_against_reference,
+    )
 
     checker_box: List[InvariantChecker] = []
 
@@ -145,6 +153,7 @@ def run_case(
             codec=PathCodec(addressing),
         )
         checker.checks.append(check_network_against_reference)
+        checker.checks.append(check_incremental_against_full)
         checker.attach()
         checker_box.append(checker)
 

@@ -25,10 +25,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import OracleViolation
 from repro.common.units import MB, MBPS
+import numpy as np
+
 from repro.simulator.maxmin import (
     Demand,
     LinkId,
+    link_loads_indexed,
     maxmin_allocate,
+    maxmin_allocate_indexed,
     maxmin_allocate_reference,
 )
 from repro.simulator.network import Network
@@ -152,6 +156,47 @@ def check_network_against_reference(network: Network) -> None:
                 f"reference {want!r}",
                 subject=flow.flow_id,
             )
+
+
+def check_incremental_against_full(network: Network) -> None:
+    """Oracle the incremental reallocator against a from-scratch full fill.
+
+    Bit-exactness, not tolerance: component decomposition of max-min
+    fairness is exact, and the dirty refill replays the same float
+    operations in the same order as a global fill restricted to the
+    component, so every live ``component_rates`` entry and every
+    persistent link-load entry must equal the full recomputation
+    *bit-for-bit*. Any epsilon here means the splice logic lost a link,
+    kept a stale rate, or reordered an accumulation — exactly the bugs an
+    approximate comparison would mask. No-ops when the network runs in
+    full mode (nothing to cross-check) or while a realloc is pending.
+    """
+    if network.realloc_pending:
+        return
+    if getattr(network, "_components", None) is None:
+        return
+    indices, indptr, weights, owners = network.demand_csr()
+    expected, _ = maxmin_allocate_indexed(indices, indptr, weights, network._cap_array)
+    for (flow, idx), want in zip(owners, expected):
+        got = flow.component_rates[idx]
+        if got != float(want):
+            raise OracleViolation(
+                "incremental-vs-full",
+                f"flow {flow.flow_id} component {idx}: incremental rate {got!r} "
+                f"!= full refill {float(want)!r} (bit-exact contract)",
+                subject=flow.flow_id,
+            )
+    expected_load = link_loads_indexed(
+        indices, indptr, expected, len(network.link_index)
+    )
+    if not np.array_equal(expected_load, network._load_array):
+        bad = int(np.flatnonzero(expected_load != network._load_array)[0])
+        raise OracleViolation(
+            "incremental-vs-full",
+            f"persistent load of link {network.link_index.links[bad]} is "
+            f"{network._load_array[bad]!r} but a full recount gives "
+            f"{expected_load[bad]!r} (bit-exact contract)",
+        )
 
 
 # ---------------------------------------------------------------------------

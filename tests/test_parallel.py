@@ -37,6 +37,38 @@ class TestRunScenariosParallel:
         ]
         assert parallel == serial
 
+    def test_parallel_records_bit_identical_on_grid(self):
+        # Determinism down to the last float bit, across schedulers and
+        # both reallocation modes: worker processes must replay exactly
+        # the event sequence a serial run produces.
+        import dataclasses
+
+        configs = [
+            dataclasses.replace(
+                BASE,
+                scheduler=scheduler,
+                seed=seed,
+                duration_s=8.0,
+                network_params={"incremental_realloc": incremental},
+            )
+            for scheduler in ("ecmp", "dard")
+            for seed in (1, 2)
+            for incremental in (False, True)
+        ]
+
+        def fingerprint(result):
+            return [
+                (r.flow_id, r.src, r.dst, r.start_time, r.end_time,
+                 r.path_switches, r.retransmitted_bytes)
+                for r in result.records
+            ]
+
+        serial = run_scenarios_parallel(configs, max_workers=1)
+        parallel = run_scenarios_parallel(configs, max_workers=4)
+        for one, other in zip(serial, parallel):
+            assert fingerprint(one) == fingerprint(other)
+        assert all(r.records for r in serial)
+
     def test_invalid_workers(self):
         with pytest.raises(ConfigurationError):
             run_scenarios_parallel([BASE], max_workers=0)

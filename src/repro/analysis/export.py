@@ -68,5 +68,5 @@ def results_to_json(payload, path: PathLike) -> None:
     if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
         payload = dataclasses.asdict(payload)
     with open(path, "w") as handle:
-        json.dump(_jsonable(payload), handle, indent=2, default=str)
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")

@@ -81,7 +81,10 @@ def estimate_demands(
             total = sum(demand[i] for i in indices)
             if total <= 1.0 + _DEMAND_EPS:
                 continue
-            limited = set(indices)
+            # Kept as an ascending list (indices is built in flow order):
+            # the budget subtractions below are float ops, so their order
+            # must not depend on set hash order.
+            limited = list(indices)
             budget = 1.0
             while True:
                 share = budget / len(limited)

@@ -188,7 +188,7 @@ class TexcpScheduler(Scheduler):
             # (a real TeXCP agent would likewise leave its splitters alone) —
             # unless a flow is sitting on a path that just died.
             changed = max(abs(a - b) for a, b in zip(before, agent.ratios)) >= 0.005
-            for flow_id in list(agent.flow_ids):
+            for flow_id in sorted(agent.flow_ids):
                 flow = network.flows.get(flow_id)
                 if flow is None:
                     agent.flow_ids.discard(flow_id)

@@ -10,7 +10,10 @@ Subcommands:
 * ``dard validate [--fuzz]`` — the differential-oracle validation layer:
   allocator equivalence, the fluid-vs-packet FCT agreement band,
   golden-trace regression, and (with ``--fuzz``) randomized invariant
-  fuzzing with shrink-on-failure (see TESTING.md).
+  fuzzing with shrink-on-failure (see TESTING.md);
+* ``dard lint [paths ...]`` — dardlint, the repo's AST static analyzer
+  for determinism/hot-path/API-contract rules (see DESIGN.md
+  "Static guarantees"); exits non-zero on any finding.
 """
 
 from __future__ import annotations
@@ -127,6 +130,26 @@ def _build_parser() -> argparse.ArgumentParser:
              "and print the top 20 functions by cumulative time",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run dardlint, the repo's determinism/hot-path analyzer"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json is the CI artifact schema)",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the report to this file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
     compare = sub.add_parser("compare", help="ad-hoc scheduler comparison")
     compare.add_argument(
         "--topology", default="fattree", choices=["fattree", "clos", "threetier"]
@@ -164,10 +187,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {"seed": args.seed}
     if args.duration is not None:
         kwargs["duration_s"] = args.duration
-    started = time.time()
+    # Wall time is display-only; the experiment itself is seed-driven.
+    started = time.time()  # dardlint: disable=DET002
     output = run_experiment(args.experiment, **kwargs)
     print(output.render())
-    print(f"\n(ran in {time.time() - started:.1f}s wall time)")
+    print(f"\n(ran in {time.time() - started:.1f}s wall time)")  # dardlint: disable=DET002
     if args.csv:
         from repro.analysis import rows_to_csv
 
@@ -372,6 +396,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, load_config, render_json, render_text, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) or "*"
+            print(f"{rule.code}  {rule.name:26s} [{scope}]  {rule.description}")
+        return 0
+    config = load_config()
+    findings, files_scanned = run_lint(args.paths, config)
+    renderer = render_json if args.format == "json" else render_text
+    report = renderer(findings, files_scanned)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 1 if findings else 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -387,6 +430,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_verify(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -5,6 +5,10 @@ catch everything from this package with one ``except`` clause while still
 being able to distinguish subsystem failures.
 """
 
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -45,8 +49,8 @@ class InvariantViolation(SimulationError):
         invariant: str,
         detail: str,
         *,
-        link=None,
-        flow_id=None,
+        link: Optional[Tuple[str, str]] = None,
+        flow_id: Optional[int] = None,
     ) -> None:
         self.invariant = invariant
         self.detail = detail
@@ -68,7 +72,7 @@ class OracleViolation(SimulationError):
     (demand index, scenario name, ...).
     """
 
-    def __init__(self, oracle: str, detail: str, *, subject=None) -> None:
+    def __init__(self, oracle: str, detail: str, *, subject: Optional[object] = None) -> None:
         self.oracle = oracle
         self.detail = detail
         self.subject = subject

@@ -1,0 +1,22 @@
+"""dardlint rule modules.
+
+Importing this package imports every submodule, so each ``@register``-
+decorated rule lands in the engine registry without a hand-maintained
+list — dropping a new ``rules/<topic>.py`` file is the whole wiring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+__all__ = ["RULE_MODULES"]
+
+#: Discovered submodule names, sorted so registration order (and thus any
+#: registration-time error) is independent of filesystem order.
+RULE_MODULES = sorted(
+    info.name for info in pkgutil.iter_modules(__path__) if not info.name.startswith("_")
+)
+
+for _name in RULE_MODULES:
+    importlib.import_module(f"{__name__}.{_name}")

@@ -1,0 +1,371 @@
+"""Determinism rules: DET001–DET004.
+
+These encode the repo's reproducibility contract (DESIGN.md "Static
+guarantees"): every simulation outcome — rates, FCTs, event order, golden
+digests — must be a pure function of the experiment seed, byte-identical
+across processes and ``PYTHONHASHSEED`` values. The common enemy is hash
+order: set iteration, global RNG state, and float accumulation over
+unordered collections all leak it into results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+from repro.lint.scopes import walk_scopes
+from repro.lint.setlike import ModuleSetFacts, ScopeNames, carries_set_order, is_set_like
+
+#: Call targets that materialize or forward their argument's iteration
+#: order. ``sorted``/``min``/``max``/``any``/``all``/``len``/``set`` are
+#: deliberately absent: their results do not depend on input order.
+_ORDER_CONSUMING_CALLS = {"list", "tuple", "iter", "enumerate", "reversed"}
+_ORDER_CONSUMING_METHODS = {"join", "extend", "fromkeys", "fromiter", "array", "asarray"}
+
+
+def _set_order_events(
+    ctx: ModuleContext,
+) -> Iterator[Tuple[ast.AST, str, ScopeNames]]:
+    """Yield ``(node, kind, scope)`` wherever set iteration order escapes.
+
+    Kinds: ``for`` (loop over a set), ``comp`` (list/dict comprehension),
+    ``call`` (list()/tuple()/.join()/...), ``star`` (*-unpack), ``sum``
+    (builtin float sum — reported by DET003, not DET001).
+    """
+    facts = ModuleSetFacts(ctx.tree)
+    events: List[Tuple[ast.AST, str, ScopeNames]] = []
+
+    def visit(node: ast.AST, scope: ScopeNames) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if carries_set_order(node.iter, scope):
+                events.append((node, "for", scope))
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            for generator in node.generators:
+                if carries_set_order(generator.iter, scope):
+                    events.append((node, "comp", scope))
+                    break
+        elif isinstance(node, ast.Starred):
+            if is_set_like(node.value, scope):
+                events.append((node, "star", scope))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not node.args:
+                return
+            first = node.args[0]
+            if isinstance(func, ast.Name):
+                if func.id == "sum" and carries_set_order(first, scope):
+                    events.append((node, "sum", scope))
+                elif func.id in _ORDER_CONSUMING_CALLS and carries_set_order(
+                    first, scope
+                ):
+                    events.append((node, "call", scope))
+            elif isinstance(func, ast.Attribute):
+                if func.attr in _ORDER_CONSUMING_METHODS and carries_set_order(
+                    first, scope
+                ):
+                    events.append((node, "call", scope))
+
+    walk_scopes(ctx.tree, facts, visit)
+    return iter(events)
+
+
+@register
+class UnorderedSetIteration(Rule):
+    """DET001: iteration order of a ``set`` escapes into program results.
+
+    Set iteration is hash order — for strings and tuples that varies with
+    ``PYTHONHASHSEED``, so loops, comprehensions, and ``list()`` calls
+    over sets can reorder float accumulation, event scheduling, or output
+    rows between processes. Iterate ``sorted(the_set)`` or keep hot-path
+    state in dense arrays indexed by interned ids.
+    """
+
+    code = "DET001"
+    name = "unordered-set-iteration"
+    description = "set iteration order escapes; use sorted() or dense-array order"
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, kind, _scope in _set_order_events(ctx):
+            if kind == "sum":
+                continue  # DET003's concern: float accumulation
+            if kind == "for":
+                what = "loop iterates a set in hash order"
+            elif kind == "comp":
+                what = "comprehension iterates a set in hash order"
+            elif kind == "star":
+                what = "*-unpacking a set forwards hash order"
+            else:
+                what = "call materializes a set's hash order"
+            yield ctx.finding(node, self.code, f"{what}; use sorted(...) first")
+
+
+@register
+class GlobalRngOrWallClock(Rule):
+    """DET002: global RNG state or wall-clock reads outside ``common.rng``.
+
+    ``random.*`` module functions, ``np.random.*`` module state, and
+    ``time.time``-family calls make results depend on process history or
+    the host clock. All randomness must come from
+    :class:`repro.common.rng.RngStreams` named streams; wall-clock
+    telemetry that provably never feeds simulation state may stay, with a
+    per-line suppression recording that audit.
+    """
+
+    code = "DET002"
+    name = "global-rng-or-wall-clock"
+    description = "wall-clock / global-RNG call outside repro.common.rng"
+    scope = ("repro",)
+    exempt = ("repro.common.rng",)
+
+    _TIME_FNS = {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+    _DATETIME_FNS = {"now", "utcnow", "today"}
+    _RANDOM_ALLOWED = {"Random", "SystemRandom"}
+    _NP_RANDOM_ALLOWED = {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        time_aliases: Set[str] = set()
+        random_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+        np_random_aliases: Set[str] = set()
+        datetime_mod_aliases: Set[str] = set()
+        datetime_cls_aliases: Set[str] = set()
+        #: bare names bound by ``from`` imports, mapped to their hazard.
+        direct: Dict[str, str] = {}
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        time_aliases.add(bound)
+                    elif alias.name == "random":
+                        random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        np_random_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "time" and alias.name in self._TIME_FNS:
+                        direct[bound] = f"time.{alias.name}"
+                    elif node.module == "random":
+                        if alias.name not in self._RANDOM_ALLOWED:
+                            direct[bound] = f"random.{alias.name}"
+                    elif node.module == "numpy" and alias.name == "random":
+                        np_random_aliases.add(bound)
+                    elif node.module == "numpy.random":
+                        if alias.name not in self._NP_RANDOM_ALLOWED:
+                            direct[bound] = f"numpy.random.{alias.name}"
+                    elif node.module == "datetime" and alias.name == "datetime":
+                        datetime_cls_aliases.add(bound)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                hazard = direct.get(func.id)
+                if hazard is not None:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"{hazard} call; route through repro.common.rng streams "
+                        "(or suppress with a rationale if it never feeds "
+                        "simulation state)",
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in time_aliases and func.attr in self._TIME_FNS:
+                    yield ctx.finding(
+                        node, self.code, f"wall-clock read time.{func.attr}()"
+                    )
+                elif (
+                    base.id in random_aliases
+                    and func.attr not in self._RANDOM_ALLOWED
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"global-state random.{func.attr}(); use an "
+                        "RngStreams named stream",
+                    )
+                elif (
+                    base.id in np_random_aliases
+                    and func.attr not in self._NP_RANDOM_ALLOWED
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"numpy global-state random.{func.attr}(); use "
+                        "default_rng via RngStreams",
+                    )
+                elif (
+                    base.id in datetime_cls_aliases
+                    and func.attr in self._DATETIME_FNS
+                ):
+                    yield ctx.finding(
+                        node, self.code, f"wall-clock read datetime.{func.attr}()"
+                    )
+            elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                if (
+                    base.value.id in numpy_aliases
+                    and base.attr == "random"
+                    and func.attr not in self._NP_RANDOM_ALLOWED
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"numpy global-state random.{func.attr}(); use "
+                        "default_rng via RngStreams",
+                    )
+                elif (
+                    base.value.id in datetime_mod_aliases
+                    and base.attr in ("datetime", "date")
+                    and func.attr in self._DATETIME_FNS
+                ):
+                    yield ctx.finding(
+                        node, self.code, f"wall-clock read datetime.{func.attr}()"
+                    )
+
+
+@register
+class FloatSumOverUnordered(Rule):
+    """DET003: builtin ``sum`` over an unordered collection of floats.
+
+    Float addition is not associative: summing a set (or a generator over
+    one) rounds differently under different hash orders, breaking the
+    allocator's bit-exactness guarantees. Use ``math.fsum`` (exact,
+    order-independent) or sum a deterministically ordered array.
+    """
+
+    code = "DET003"
+    name = "float-sum-over-unordered"
+    description = "sum() over an unordered iterable; use math.fsum or arrays"
+    scope = (
+        "repro.simulator",
+        "repro.baselines",
+        "repro.gametheory",
+        "repro.validation",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, kind, _scope in _set_order_events(ctx):
+            if kind != "sum":
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                "sum() over a set rounds in hash order; use math.fsum or a "
+                "sorted/dense array",
+            )
+
+
+@register
+class UnorderedSerialization(Rule):
+    """DET004: unordered collections feeding golden-trace serialization.
+
+    Golden traces and exported reports are compared byte-for-byte, so the
+    serializers must impose a total order themselves: ``json.dump`` needs
+    ``sort_keys=True``, and sets must never appear in a serialized
+    payload or a digest input (their iteration order is the hash order
+    DET001 bans).
+    """
+
+    code = "DET004"
+    name = "unordered-serialization"
+    description = "json.dump without sort_keys=True, or a set feeding a digest"
+    scope = ("repro.validation", "repro.analysis", "repro.experiments")
+
+    _DIGEST_FUNCS = {"_digest", "digest"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        facts = ModuleSetFacts(ctx.tree)
+        json_aliases = {"json"}
+        direct_dump: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "json":
+                        json_aliases.add(alias.asname or "json")
+            elif isinstance(node, ast.ImportFrom) and node.module == "json":
+                for alias in node.names:
+                    if alias.name in ("dump", "dumps"):
+                        direct_dump.add(alias.asname or alias.name)
+
+        events: List[Finding] = []
+
+        def visit(node: ast.AST, scope: ScopeNames) -> None:
+            if not isinstance(node, ast.Call):
+                return
+            func = node.func
+            is_dump = (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("dump", "dumps")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in json_aliases
+            ) or (isinstance(func, ast.Name) and func.id in direct_dump)
+            is_digest = (
+                isinstance(func, ast.Name) and func.id in self._DIGEST_FUNCS
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr in self._DIGEST_FUNCS
+            )
+            if is_dump:
+                sort_keys = next(
+                    (kw.value for kw in node.keywords if kw.arg == "sort_keys"), None
+                )
+                if not (
+                    isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+                ):
+                    events.append(
+                        ctx.finding(
+                            node,
+                            self.code,
+                            "json serialization without sort_keys=True; key "
+                            "order must not depend on construction history",
+                        )
+                    )
+            if is_dump or is_digest:
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.expr) and is_set_like(sub, scope):
+                            events.append(
+                                ctx.finding(
+                                    sub,
+                                    self.code,
+                                    "set feeds a serialized payload/digest; "
+                                    "serialize sorted(...) instead",
+                                )
+                            )
+                            break
+
+        walk_scopes(ctx.tree, facts, visit)
+        yield from events

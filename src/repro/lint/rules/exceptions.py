@@ -1,0 +1,95 @@
+"""Exception-hygiene rule: EXC001.
+
+The validation layer communicates through exceptions on purpose:
+``InvariantViolation`` / ``OracleViolation`` (both ``ReproError``
+subclasses) are how a broken invariant aborts a run and reaches the
+fuzzer or CI. A broad ``except`` between the check and its consumer can
+swallow that signal silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+#: Handlers for these types, placed *before* a broad handler in the same
+#: try statement, already route validation signals structurally — the
+#: trailing broad handler then only sees genuine third-party crashes.
+_SAFE_EARLIER = {
+    "ReproError",
+    "SimulationError",
+    "InvariantViolation",
+    "OracleViolation",
+}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: List[str] = []
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises (bare raise, or the bound name)."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node.exc, ast.Name)
+                and node.exc.id == handler.name
+            ):
+                return True
+    return False
+
+
+@register
+class BroadExceptSwallowsInvariants(Rule):
+    """EXC001: a bare/broad ``except`` that can swallow validation signals.
+
+    Allowed shapes: the handler re-raises, or an earlier handler in the
+    same ``try`` already catches ``ReproError`` (or the violation types
+    directly), so invariant failures never reach the broad arm. Anything
+    else needs a narrower type — or a suppression documenting why eating
+    every exception is correct there.
+    """
+
+    code = "EXC001"
+    name = "broad-except"
+    description = "bare/broad except may swallow InvariantViolation/OracleViolation"
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            earlier_safe = False
+            for handler in node.handlers:
+                names = _caught_names(handler)
+                if handler.type is None or (set(names) & _BROAD):
+                    if not earlier_safe and not _reraises(handler):
+                        what = "bare except:" if handler.type is None else (
+                            f"except {' | '.join(names) or '...'}"
+                        )
+                        yield ctx.finding(
+                            handler,
+                            self.code,
+                            f"{what} can swallow InvariantViolation/"
+                            "OracleViolation; catch a narrower type or "
+                            "handle ReproError first",
+                        )
+                if set(names) & _SAFE_EARLIER:
+                    earlier_safe = True

@@ -1,0 +1,128 @@
+"""Statement-order scope traversal for dardlint rules.
+
+Several rules need the same traversal: walk every lexical scope of a
+module in source order, keep :class:`~repro.lint.setlike.ScopeNames`
+facts up to date as assignments execute, and offer each statement (and
+every expression it directly contains) to a visitor callback. Compound
+statements (``if``/``for``/``while``/``with``/``try``) share their
+enclosing function's scope; nested ``def``/``class`` bodies start fresh
+scopes, with set-annotated parameters pre-seeded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, List, Sequence
+
+from repro.lint.setlike import ModuleSetFacts, ScopeNames, annotation_is_set
+
+__all__ = ["walk_scopes"]
+
+#: visitor(node, scope): called once per statement node and once per AST
+#: node of each statement's own (header) expressions, in source order.
+Visitor = Callable[[ast.AST, ScopeNames], None]
+
+
+def _header_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The expressions evaluated by a statement itself (not nested bodies)."""
+    if isinstance(stmt, ast.Assign):
+        yield from stmt.targets
+        yield stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        yield stmt.target
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.AugAssign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, (ast.Expr, ast.Return)):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.While, ast.If)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            yield stmt.exc
+        if stmt.cause is not None:
+            yield stmt.cause
+    elif isinstance(stmt, ast.Assert):
+        yield stmt.test
+        if stmt.msg is not None:
+            yield stmt.msg
+    elif isinstance(stmt, ast.Delete):
+        yield from stmt.targets
+    elif isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            if handler.type is not None:
+                yield handler.type
+
+
+def _nested_bodies(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+    """Statement lists executed in the *same* scope as ``stmt``."""
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While, ast.If)):
+        yield stmt.body
+        yield stmt.orelse
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        yield stmt.body
+    elif isinstance(stmt, ast.Try):
+        yield stmt.body
+        for handler in stmt.handlers:
+            yield handler.body
+        yield stmt.orelse
+        yield stmt.finalbody
+
+
+def _clear_bound_names(stmt: ast.stmt, scope: ScopeNames) -> None:
+    """Loop/with targets bind elements, not the set itself — clear facts."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets.append(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets.extend(
+            item.optional_vars for item in stmt.items if item.optional_vars is not None
+        )
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                scope.names[node.id] = False
+
+
+def _walk_body(
+    body: Sequence[ast.stmt], scope: ScopeNames, visit: Visitor
+) -> None:
+    for stmt in body:
+        scope.observe(stmt)
+        _clear_bound_names(stmt, scope)
+        visit(stmt, scope)
+        for header in _header_exprs(stmt):
+            for node in ast.walk(header):
+                visit(node, scope)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = ScopeNames(scope.facts)
+            args = stmt.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            ):
+                inner.names[arg.arg] = annotation_is_set(arg.annotation)
+            _walk_body(stmt.body, inner, visit)
+        elif isinstance(stmt, ast.ClassDef):
+            _walk_body(stmt.body, ScopeNames(scope.facts), visit)
+        else:
+            for nested in _nested_bodies(stmt):
+                _walk_body(nested, scope, visit)
+
+
+def walk_scopes(tree: ast.Module, facts: ModuleSetFacts, visit: Visitor) -> None:
+    """Drive ``visit`` over every scope of ``tree`` in statement order."""
+    _walk_body(tree.body, ScopeNames(facts), visit)

@@ -1,0 +1,177 @@
+"""Shared inference: which expressions are (or carry the order of) sets.
+
+Python sets iterate in hash order, which for strings and tuples depends on
+``PYTHONHASHSEED`` — any code path whose *result order* flows from set
+iteration is a cross-process determinism hazard (the repo's subprocess
+byte-identity guarantee, TESTING.md). The DET001/DET003 rules need to know,
+for an arbitrary expression, "does iterating this consume set order?".
+
+The analysis is deliberately conservative (prefers false negatives over
+false positives, since findings gate CI) and purely intraprocedural:
+
+* **syntactic sets** — set/frozenset displays and comprehensions,
+  ``set(...)``/``frozenset(...)`` calls, set-operator combinations
+  (``|&-^``), and set-returning methods (``.union(...)`` etc. on a
+  known set);
+* **local names** — a name assigned a set-like value inside the current
+  scope (tracked in statement order, rebinding to a non-set clears it);
+* **attributes** — attribute names annotated ``Set[...]`` anywhere in the
+  module (class bodies, dataclass fields, ``self.x: Set[int] = ...``) or
+  assigned a syntactic set on ``self``;
+* **functions** — calls to module-local functions whose return annotation
+  is a set type;
+* **order taint** — generator expressions and ``map``/``filter`` calls
+  over any of the above carry the set's iteration order through to their
+  consumer.
+
+Dict iteration is *not* flagged: CPython dicts iterate in insertion order,
+which is deterministic whenever the program's control flow is — the hazard
+dardlint cares about is hash order, not mapping order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+__all__ = [
+    "ModuleSetFacts",
+    "ScopeNames",
+    "annotation_is_set",
+    "carries_set_order",
+    "is_set_like",
+]
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+_SET_ANNOTATION_NAMES = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+}
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """Whether a type annotation denotes a set (``Set[int]``, ``set``, ...)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return annotation_is_set(ast.parse(node.value, mode="eval").body)
+        except (SyntaxError, ValueError):
+            return False
+    return False
+
+
+class ModuleSetFacts:
+    """Module-wide facts gathered in one prepass over the AST."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: attribute names known to hold sets anywhere in this module.
+        self.set_attrs: Set[str] = set()
+        #: module-local function names whose return annotation is a set.
+        self.set_returning: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if annotation_is_set(node.returns):
+                    self.set_returning.add(node.name)
+            elif isinstance(node, ast.AnnAssign):
+                if annotation_is_set(node.annotation):
+                    target = node.target
+                    if isinstance(target, ast.Name):
+                        # Dataclass fields / class-level declarations make
+                        # the *attribute* name set-typed module-wide.
+                        self.set_attrs.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        self.set_attrs.add(target.attr)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and _syntactic_set(node.value):
+                        self.set_attrs.add(target.attr)
+
+
+class ScopeNames:
+    """Statement-order tracking of set-typed local names in one scope."""
+
+    def __init__(self, facts: ModuleSetFacts) -> None:
+        self.facts = facts
+        self.names: Dict[str, bool] = {}
+
+    def observe(self, stmt: ast.stmt) -> None:
+        """Update name facts from one statement (call in source order)."""
+        if isinstance(stmt, ast.Assign):
+            value_is_set = is_set_like(stmt.value, self)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.names[target.id] = value_is_set
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if annotation_is_set(stmt.annotation):
+                self.names[stmt.target.id] = True
+            elif stmt.value is not None:
+                self.names[stmt.target.id] = is_set_like(stmt.value, self)
+
+
+def _syntactic_set(node: ast.expr) -> bool:
+    """Set-ness decidable without any name environment."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CONSTRUCTORS
+    return False
+
+
+def is_set_like(node: ast.expr, scope: Optional[ScopeNames] = None) -> bool:
+    """Whether ``node`` evaluates to a set, as far as the inference can tell."""
+    if _syntactic_set(node):
+        return True
+    facts = scope.facts if scope is not None else None
+    if isinstance(node, ast.Name):
+        return bool(scope and scope.names.get(node.id, False))
+    if isinstance(node, ast.Attribute):
+        return bool(facts and node.attr in facts.set_attrs)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return is_set_like(node.left, scope) or is_set_like(node.right, scope)
+    if isinstance(node, ast.IfExp):
+        return is_set_like(node.body, scope) or is_set_like(node.orelse, scope)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return is_set_like(func.value, scope)
+        if isinstance(func, ast.Name) and facts and func.id in facts.set_returning:
+            return True
+    return False
+
+
+def carries_set_order(node: ast.expr, scope: Optional[ScopeNames] = None) -> bool:
+    """Set-like, or a lazy transform (genexp / map / filter) over one.
+
+    ``sum(x for x in some_set)`` is just as order-dependent as
+    ``sum(some_set)`` — the generator merely forwards the set's iteration
+    order to whatever consumes it.
+    """
+    if is_set_like(node, scope):
+        return True
+    if isinstance(node, ast.GeneratorExp):
+        return bool(node.generators) and carries_set_order(
+            node.generators[0].iter, scope
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("map", "filter") and node.args:
+            return carries_set_order(node.args[-1], scope)
+    return False

@@ -32,7 +32,7 @@ ever names live roots.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 __all__ = ["FlowLinkComponents"]
 
@@ -105,7 +105,7 @@ class FlowLinkComponents:
 
     # -- membership events ---------------------------------------------------
 
-    def attach(self, flow_id: int, link_ids) -> None:
+    def attach(self, flow_id: int, link_ids: Any) -> None:
         """A flow landed on these links; its component becomes dirty.
 
         ``link_ids`` is the flow's sorted unique link-id array (every
@@ -116,7 +116,7 @@ class FlowLinkComponents:
         root = self._attach_links(flow_id, link_ids.tolist())
         self._dirty.add(root)
 
-    def detach(self, flow_id: int, link_ids) -> None:
+    def detach(self, flow_id: int, link_ids: Any) -> None:
         """A flow left these links; its component becomes dirty.
 
         The union structure keeps the (possibly now disconnected) merge —
@@ -146,7 +146,7 @@ class FlowLinkComponents:
         self._dirty = set()
         touched = 0
         flow_ids: Set[int] = set()
-        for root in dirty:
+        for root in sorted(dirty):
             members = self._flow_sets.get(root)
             if members:
                 touched += 1
@@ -165,7 +165,7 @@ class FlowLinkComponents:
 
     # -- epochs ----------------------------------------------------------------
 
-    def rebuild(self, flows) -> None:
+    def rebuild(self, flows: Iterable[Any]) -> None:
         """Recompute the partition from scratch over the live flows.
 
         Starts a fresh epoch: resets the union structure, re-attaches every

@@ -16,7 +16,17 @@ straight through to the underlying array.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, MutableMapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -63,7 +73,7 @@ class LinkIndex:
             raise SimulationError("LinkIndex arrays must align with the link list")
 
     @classmethod
-    def from_topology(cls, topology) -> "LinkIndex":
+    def from_topology(cls, topology: Any) -> "LinkIndex":
         """Intern every directed link of a topology, in its link order."""
         links: List[LinkId] = []
         caps: List[float] = []
@@ -124,13 +134,13 @@ class LinkArrayMapping(MutableMapping):
         self._index = index
         self._array = array
 
-    def __getitem__(self, link: LinkId):
+    def __getitem__(self, link: LinkId) -> float:
         i = self._index.ids.get(link)
         if i is None:
             raise KeyError(link)
         return self._array[i].item()
 
-    def __setitem__(self, link: LinkId, value) -> None:
+    def __setitem__(self, link: LinkId, value: float) -> None:
         i = self._index.ids.get(link)
         if i is None:
             raise KeyError(link)
@@ -145,5 +155,5 @@ class LinkArrayMapping(MutableMapping):
     def __len__(self) -> int:
         return len(self._index)
 
-    def __contains__(self, link) -> bool:
+    def __contains__(self, link: object) -> bool:
         return link in self._index.ids

@@ -72,7 +72,7 @@ def check_maxmin_certificate(
     for (links, weight), rate in zip(demands, rates):
         norm = rate / weight
         normalized.append(norm)
-        for link in set(links):
+        for link in sorted(set(links)):
             load[link] = load.get(link, 0.0) + rate
             if norm > max_norm.get(link, float("-inf")):
                 max_norm[link] = norm

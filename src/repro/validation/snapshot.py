@@ -22,7 +22,10 @@ import json
 import math
 import random
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+#: Progress callback used by the golden capture/compare entry points.
+ProgressFn = Optional[Callable[[str], None]]
 
 from repro.common.rng import RngStreams
 from repro.common.units import MB, MBPS
@@ -91,7 +94,7 @@ GOLDEN_SCENARIOS: Dict[str, ScenarioConfig] = {
 _INCREMENTAL_EXEMPT_FIELDS = ("filling_iterations",)
 
 
-def _digest(values) -> str:
+def _digest(values: Iterable[float]) -> str:
     """Stable content hash of a sequence of rounded numbers."""
     payload = ",".join(repr(round(float(v), _ROUND)) for v in values)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -162,7 +165,7 @@ def capture_allocator() -> dict:
     }
 
 
-def collect_goldens(progress=None) -> dict:
+def collect_goldens(progress: ProgressFn = None) -> dict:
     """Run every golden capture and assemble the snapshot document."""
     scenarios = {}
     for name, config in GOLDEN_SCENARIOS.items():
@@ -177,7 +180,7 @@ def collect_goldens(progress=None) -> dict:
     }
 
 
-def store_goldens(path: PathLike = DEFAULT_GOLDEN_PATH, progress=None) -> dict:
+def store_goldens(path: PathLike = DEFAULT_GOLDEN_PATH, progress: ProgressFn = None) -> dict:
     """Capture and write the golden file; returns the document."""
     document = collect_goldens(progress=progress)
     path = Path(path)
@@ -188,7 +191,7 @@ def store_goldens(path: PathLike = DEFAULT_GOLDEN_PATH, progress=None) -> dict:
     return document
 
 
-def _diff(prefix: str, golden, current, out: List[str]) -> None:
+def _diff(prefix: str, golden: Any, current: Any, out: List[str]) -> None:
     if isinstance(golden, dict) and isinstance(current, dict):
         for key in sorted(set(golden) | set(current)):
             if key not in golden:
@@ -209,7 +212,7 @@ def _diff(prefix: str, golden, current, out: List[str]) -> None:
 def compare_goldens(
     path: PathLike = DEFAULT_GOLDEN_PATH,
     document: Optional[dict] = None,
-    progress=None,
+    progress: ProgressFn = None,
 ) -> List[str]:
     """Diff a fresh capture against the stored golden file.
 
@@ -231,7 +234,7 @@ def compare_goldens(
 
 def compare_goldens_incremental(
     path: PathLike = DEFAULT_GOLDEN_PATH,
-    progress=None,
+    progress: ProgressFn = None,
 ) -> List[str]:
     """Re-run the golden scenarios incrementally against the stored file.
 

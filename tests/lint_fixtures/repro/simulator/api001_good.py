@@ -1,0 +1,9 @@
+"""API001 good fixture: the write lives in an allowed refill owner."""
+
+
+class FakeNetwork:
+    """Minimal shape for the rule: only the attribute name matters."""
+
+    def _refill_dirty(self, zero_ids):
+        """One of the two audited writers of the persistent load array."""
+        self._load_array[zero_ids] = 0.0

@@ -1,0 +1,8 @@
+"""API002 bad fixture: pushing onto the event heap behind the engine."""
+
+import heapq
+
+
+def sneak_push(engine, when, event):
+    """Skips the engine's monotonic sequence numbers."""
+    heapq.heappush(engine._heap, (when, event))

@@ -1,0 +1,6 @@
+"""API002 good fixture: scheduling through the EventEngine API."""
+
+
+def schedule(engine, when, event):
+    """The engine assigns the deterministic tie-break sequence number."""
+    engine.schedule_at(when, event)

@@ -1,0 +1,10 @@
+"""DET001 bad fixture: a loop leaks set iteration (hash) order."""
+
+
+def link_rows(pairs):
+    """Rows in set order — varies with PYTHONHASHSEED."""
+    crossing = {(u, v) for (u, v) in pairs}
+    rows = []
+    for link in crossing:
+        rows.append(link)
+    return rows

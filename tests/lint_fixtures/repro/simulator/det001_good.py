@@ -1,0 +1,10 @@
+"""DET001 good fixture: set iteration goes through sorted() first."""
+
+
+def link_rows(pairs):
+    """Rows in sorted link order — stable across processes."""
+    crossing = {(u, v) for (u, v) in pairs}
+    rows = []
+    for link in sorted(crossing):
+        rows.append(link)
+    return rows

@@ -1,0 +1,7 @@
+"""DET003 bad fixture: builtin sum() over a set of floats."""
+
+
+def total_load(rates):
+    """Rounds in hash order — last bits differ between processes."""
+    distinct = {float(rate) for rate in rates}
+    return sum(distinct)

@@ -1,0 +1,9 @@
+"""DET003 good fixture: order-independent float accumulation."""
+
+import math
+
+
+def total_load(rates):
+    """math.fsum is exact, so input order cannot change the result."""
+    distinct = {float(rate) for rate in rates}
+    return math.fsum(sorted(distinct))

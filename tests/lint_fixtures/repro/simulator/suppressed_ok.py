@@ -1,0 +1,13 @@
+"""Suppression fixture: real violations silenced by disable comments."""
+
+
+def set_order_rows(pairs):
+    """Both suppression placements: trailing comment and comment-above."""
+    crossing = {(u, v) for (u, v) in pairs}
+    rows = []
+    for link in crossing:  # dardlint: disable=DET001 (order irrelevant here)
+        rows.append(link)
+    # dardlint: disable=DET001
+    for link in crossing:
+        rows.append(link)
+    return rows

@@ -1,0 +1,8 @@
+"""DET004 bad fixture: json.dump without sort_keys=True."""
+
+import json
+
+
+def write_report(payload, handle):
+    """Key order follows dict construction history — not byte-stable."""
+    json.dump(payload, handle, indent=2)

@@ -1,0 +1,8 @@
+"""DET004 good fixture: serialization imposes a total key order."""
+
+import json
+
+
+def write_report(payload, handle):
+    """sort_keys=True makes the bytes independent of insertion order."""
+    json.dump(payload, handle, indent=2, sort_keys=True)

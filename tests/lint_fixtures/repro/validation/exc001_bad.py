@@ -1,0 +1,10 @@
+"""EXC001 bad fixture: a broad except that can eat validation signals."""
+
+
+def run_check(check):
+    """An InvariantViolation raised by check() vanishes into False."""
+    try:
+        check()
+    except Exception:
+        return False
+    return True

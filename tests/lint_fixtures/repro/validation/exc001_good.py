@@ -1,0 +1,15 @@
+"""EXC001 good fixture: validation signals escape before the broad arm."""
+
+from repro.common.errors import ReproError
+
+
+def run_check(check):
+    """ReproError (and its violation subclasses) propagate; only genuine
+    third-party crashes reach the broad handler."""
+    try:
+        check()
+    except ReproError:
+        raise
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,8 @@
+"""DET002 bad fixture: global random-module state."""
+
+import random
+
+
+def jitter_s():
+    """Depends on interpreter-global RNG state — not seed-reproducible."""
+    return random.random() * 0.5

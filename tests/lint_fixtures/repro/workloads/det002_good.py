@@ -1,0 +1,9 @@
+"""DET002 good fixture: a locally seeded generator, no global state."""
+
+import random
+
+
+def jitter_s(seed):
+    """Pure function of the seed."""
+    rng = random.Random(seed)
+    return rng.random() * 0.5

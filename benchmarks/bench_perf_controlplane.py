@@ -1,0 +1,146 @@
+"""Control-plane benchmark: batched vectorized vs scalar DARD daemons.
+
+Runs the same seeded DARD scenario twice — once with the scalar reference
+control plane (per-monitor ``batch_path_state`` calls, PathState object
+churn, tuple-keyed flow vectors) and once with the batched one (fleet-wide
+:class:`~repro.core.registry.MonitorRegistry` cache, matrix Algorithm 1,
+integer-indexed flow vectors) — and checks two things:
+
+* **equivalence**: identical flow records AND an identical fleet-wide
+  shift journal — the control-plane bit-exactness contract, end to end
+  (the same contract ``repro validate`` enforces as a differential
+  oracle);
+* **speed**: control-plane wall time (``cp_query_time_s`` +
+  ``cp_round_time_s`` from ``Network.perf_stats()``) drops by the
+  acceptance factor.
+
+Output rows land in ``benchmarks/results/perf_controlplane.txt`` and the
+raw numbers in ``benchmarks/results/BENCH_perf_controlplane.json``. Scale
+and duration are env-overridable (``BENCH_PERF_CONTROLPLANE_P``,
+``BENCH_PERF_CONTROLPLANE_DURATION``) so CI can run a fast smoke at p=4
+while the default exercises p=16; the speedup gate only applies at
+p >= 16 where monitor fleets are large enough for batching to matter.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.common.units import MB, MBPS
+from repro.experiments.figures import ExperimentOutput
+from repro.experiments.runner import ScenarioConfig, run_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+P = int(os.environ.get("BENCH_PERF_CONTROLPLANE_P", "16"))
+DURATION_S = float(os.environ.get("BENCH_PERF_CONTROLPLANE_DURATION", "15"))
+
+#: Control-plane wall-time reduction the batched mode must deliver at p=16
+#: (the ISSUE acceptance gate).
+MIN_SPEEDUP = 2.0
+
+
+def _config(vectorized):
+    return ScenarioConfig(
+        topology="fattree",
+        topology_params={"p": P, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        scheduler="dard",
+        arrival_rate_per_host=0.035,
+        duration_s=DURATION_S,
+        flow_size_bytes=128 * MB,
+        seed=1,
+        scheduler_params={"vectorized": vectorized},
+    )
+
+
+def _run_mode(vectorized):
+    network_box = []
+    started = time.perf_counter()
+    result = run_scenario(_config(vectorized), instrument=network_box.append)
+    wall_s = time.perf_counter() - started
+    stats = network_box[0].perf_stats()
+    cp_time = stats["cp_query_time_s"] + stats["cp_round_time_s"]
+    row = {
+        "mode": "batched" if vectorized else "scalar",
+        "p": P,
+        "duration_s": DURATION_S,
+        "wall_s": wall_s,
+        "flows_completed": len(result.records),
+        "shifts": result.dard_shifts,
+        "cp_time_s": cp_time,
+        "cp_query_time_s": stats["cp_query_time_s"],
+        "cp_round_time_s": stats["cp_round_time_s"],
+        "cp_query_rounds": int(stats["cp_query_rounds"]),
+        "cp_daemons": int(stats["cp_daemons"]),
+    }
+    if vectorized:
+        row["cp_registry_pairs"] = int(stats["cp_registry_pairs"])
+        row["cp_registry_cache_hits"] = int(stats["cp_registry_cache_hits"])
+        row["cp_registry_refreshes"] = int(stats["cp_registry_refreshes"])
+    return row, result
+
+
+def _records(result):
+    return [
+        (r.flow_id, r.src, r.dst, r.start_time, r.end_time, r.path_switches)
+        for r in result.records
+    ]
+
+
+def _run_all():
+    scalar_row, scalar_result = _run_mode(vectorized=False)
+    batched_row, batched_result = _run_mode(vectorized=True)
+
+    # Bit-exactness, end to end: same shift journal, same flow records.
+    assert batched_result.dard_shift_log == scalar_result.dard_shift_log, (
+        f"shift journals diverged: {len(batched_result.dard_shift_log)} batched "
+        f"vs {len(scalar_result.dard_shift_log)} scalar"
+    )
+    assert _records(batched_result) == _records(scalar_result), (
+        f"batched mode diverged: {len(scalar_result.records)} scalar vs "
+        f"{len(batched_result.records)} batched records"
+    )
+
+    speedup = (
+        scalar_row["cp_time_s"] / batched_row["cp_time_s"]
+        if batched_row["cp_time_s"]
+        else float("inf")
+    )
+    rows = [scalar_row, dict(batched_row, cp_speedup=speedup)]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_perf_controlplane.json").write_text(
+        json.dumps({"experiment": "perf_controlplane", "rows": rows}, indent=2) + "\n"
+    )
+    return ExperimentOutput(
+        "perf_controlplane",
+        "control-plane wall time: batched vectorized vs scalar DARD daemons",
+        rows=[
+            {
+                "mode": r["mode"],
+                "wall_s": round(r["wall_s"], 2),
+                "cp_time_s": round(r["cp_time_s"], 3),
+                "shifts": r["shifts"],
+                "flows": r["flows_completed"],
+            }
+            for r in rows
+        ],
+        notes=f"p={P} dard stride, {DURATION_S:.0f}s, records + shift journal "
+        f"verified identical across modes; control-plane speedup {speedup:.2f}x",
+    )
+
+
+def test_perf_controlplane(benchmark, save_output):
+    output = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    save_output(output)
+    rows = json.loads(
+        (RESULTS_DIR / "BENCH_perf_controlplane.json").read_text()
+    )["rows"]
+    batched = rows[1]
+    assert batched["cp_query_rounds"] > 0, batched
+    assert batched["cp_registry_cache_hits"] > 0, batched
+    if P >= 16:
+        # Monitor fleets are only large enough for batching to pay off at
+        # scale; the p=4 CI smoke checks equivalence and telemetry only.
+        assert batched["cp_speedup"] >= MIN_SPEEDUP, batched

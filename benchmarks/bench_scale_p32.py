@@ -1,0 +1,83 @@
+"""Scale check: p=32 fat-tree (8192 hosts), past the paper's largest size.
+
+The batched control plane (monitor registry + matrix Algorithm 1 +
+integer-indexed flow vectors) is what makes four-digit daemon fleets
+tractable; this bench pushes to 8192 hosts and checks the paper's story
+survives: DARD still beats ECMP under stride and the per-flow stability
+bound tightens (p90 path switches <= 1 at this scale's light per-host
+load).
+
+The full run is a multi-minute simulation, so every knob is
+env-overridable for CI's short budget: ``BENCH_SCALE_P32_DURATION``
+(default 25 sim-s), ``BENCH_SCALE_P32_RATE`` (arrivals/host/s) and
+``BENCH_SCALE_P32_DRAIN`` (post-arrival drain cap). The DARD-vs-ECMP
+gain gate and the stability gate hold at any budget; raw rows land in
+``benchmarks/results/BENCH_scale_p32.json``.
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.common.units import MB, MBPS
+from repro.experiments import ScenarioConfig, improvement, run_scenario
+from repro.experiments.figures import ExperimentOutput
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+DURATION_S = float(os.environ.get("BENCH_SCALE_P32_DURATION", "25"))
+RATE = float(os.environ.get("BENCH_SCALE_P32_RATE", "0.012"))
+DRAIN_S = float(os.environ.get("BENCH_SCALE_P32_DRAIN", "600"))
+
+
+def _run_pair():
+    base = dict(
+        topology="fattree",
+        topology_params={"p": 32, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        arrival_rate_per_host=RATE,
+        duration_s=DURATION_S,
+        flow_size_bytes=128 * MB,
+        seed=1,
+        drain_limit_s=DRAIN_S,
+    )
+    ecmp = run_scenario(ScenarioConfig(scheduler="ecmp", **base))
+    dard = run_scenario(ScenarioConfig(scheduler="dard", **base))
+    rows = [
+        {
+            "scheduler": name,
+            "hosts": 8192,
+            "flows": len(result.records),
+            "mean_fct_s": result.mean_fct,
+            "shifts": result.dard_shifts,
+            "p90_switches": float(np.percentile(result.path_switches, 90))
+            if result.path_switches
+            else 0.0,
+        }
+        for name, result in [("ecmp", ecmp), ("dard", dard)]
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scale_p32.json").write_text(
+        json.dumps({"experiment": "scale_p32", "rows": rows}, indent=2) + "\n"
+    )
+    return ExperimentOutput(
+        "scale_p32",
+        "p=32 fat-tree (8192 hosts), stride: DARD vs ECMP at scale",
+        rows=rows,
+        notes=f"improvement: {improvement(ecmp.mean_fct, dard.mean_fct):.1%}, "
+        f"duration {DURATION_S:.0f}s, rate {RATE}/host/s",
+    )
+
+
+def test_scale_p32(benchmark, save_output):
+    output = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    save_output(output)
+    by_sched = {row["scheduler"]: row for row in output.rows}
+    assert by_sched["ecmp"]["flows"] > 0
+    gain = improvement(by_sched["ecmp"]["mean_fct_s"], by_sched["dard"]["mean_fct_s"])
+    assert gain > 0.0
+    # Stability tightens at scale: with 256 equal-cost paths per pair and
+    # light per-host load, 90% of flows never move at all.
+    assert by_sched["dard"]["p90_switches"] <= 1

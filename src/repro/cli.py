@@ -313,6 +313,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         allocator_equivalence_suite,
         compare_goldens,
         compare_goldens_incremental,
+        controlplane_equivalence_suite,
         run_fluid_vs_packet,
         run_fuzz,
         store_goldens,
@@ -328,6 +329,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         except ReproError as error:
             failed = True
             print(f"oracle: allocator equivalence FAILED\n  {error}")
+
+        print("oracle: control-plane batched vs scalar equivalence ...")
+        try:
+            for row in controlplane_equivalence_suite():
+                print(
+                    f"  {row['pattern']:14s} flows={row['flows']} "
+                    f"shifts={row['shifts']} (journal + FCTs identical)"
+                )
+            print("oracle: control-plane equivalence OK")
+        except ReproError as error:
+            failed = True
+            print(f"oracle: control-plane equivalence FAILED\n  {error}")
 
         print("oracle: fluid vs packet FCT agreement ...")
         try:

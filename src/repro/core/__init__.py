@@ -20,7 +20,8 @@ the static switch tables do the rest.
 
 from repro.core.bonf import PathState
 from repro.core.daemon import HostDaemon
-from repro.core.monitor import PathMonitor, switches_to_query
+from repro.core.monitor import PairPaths, PathMonitor, switches_to_query
+from repro.core.registry import MonitorRegistry
 from repro.core.overhead import (
     OverheadModel,
     centralized_rate_bytes_per_s,
@@ -32,7 +33,9 @@ from repro.core.scheduler import DardScheduler
 __all__ = [
     "DardScheduler",
     "HostDaemon",
+    "MonitorRegistry",
     "OverheadModel",
+    "PairPaths",
     "PathMonitor",
     "PathState",
     "centralized_rate_bytes_per_s",

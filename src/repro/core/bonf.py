@@ -41,6 +41,17 @@ class PathState:
             return 0.0
         return self.bandwidth_bps / (self.flow_numbers + 1)
 
+    def with_one_more_flow(self) -> "PathState":
+        """The state after one more elephant lands on this bottleneck.
+
+        The optimistic within-round update of Algorithm 1: after shifting a
+        flow onto a path, the daemon treats that path as carrying one more
+        elephant until the next polling round refreshes ground truth.
+        """
+        return PathState(
+            bandwidth_bps=self.bandwidth_bps, flow_numbers=self.flow_numbers + 1
+        )
+
     def __str__(self) -> str:
         bonf = "inf" if self.flow_numbers == 0 else f"{self.bonf / 1e6:.1f}Mbps"
         return f"PathState(bw={self.bandwidth_bps / 1e6:.0f}Mbps, flows={self.flow_numbers}, BoNF={bonf})"

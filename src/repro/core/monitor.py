@@ -9,11 +9,21 @@ destination ToR — and assembles the replies into per-path bottleneck
 states. That switch set covers every equal-cost path, so the query cost is
 bounded by topology size, not flow count (the crux of the Fig. 15
 overhead comparison).
+
+Monitors keep their state as two parallel arrays (``state_band``,
+``state_eleph``) rather than :class:`PathState` objects: the vectorized
+scheduling round consumes the arrays directly, and the ``path_states``
+property materializes the object view only where callers (the scalar
+reference mode, tests) actually want it. Everything per-pair and
+topology-static — the path list, the link-id CSR, the switch query set —
+is computed once per pair in :class:`PairPaths` and shared between
+monitors through the :class:`~repro.core.registry.MonitorRegistry`.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -21,6 +31,7 @@ from repro.scheduling.messages import MessageLedger, MessageSizes
 from repro.simulator.network import Network
 from repro.topology.multirooted import MultiRootedTopology, SwitchPath
 from repro.core.bonf import PathState
+from repro.core.registry import MonitorRegistry
 
 
 def switches_to_query(
@@ -45,12 +56,81 @@ def switches_to_query(
     return switches
 
 
+@dataclass(frozen=True)
+class PairPaths:
+    """Everything topology-static about one (src ToR, dst ToR) pair.
+
+    Computed once per pair (and interned by the registry so monitor churn
+    never recomputes it): the equal-cost path list, the path -> position
+    lookup, the switch query set, the link-id CSR over the *monitored*
+    paths (same-ToR length-1 paths carry no switch-switch link and are
+    excluded), and the per-link local-row adjacency the registry uses to
+    map dirty links back to CSR rows.
+    """
+
+    paths: List[SwitchPath]
+    path_index_map: Dict[SwitchPath, int]
+    query_switches: Set[str]
+    #: positions (into ``paths``) that have a CSR row, ascending.
+    monitored: np.ndarray
+    csr_indices: np.ndarray
+    csr_indptr: np.ndarray
+    #: ``(link id, local monitored-row indices)`` pairs, ascending link id.
+    link_rows: List[Tuple[int, np.ndarray]] = field(repr=False)
+
+
+def index_pair_paths(network: Network, src_tor: str, dst_tor: str) -> PairPaths:
+    """Build the :class:`PairPaths` description of one ToR pair."""
+    paths = network.topology.equal_cost_paths(src_tor, dst_tor)
+    path_link_ids = [
+        network.index_switch_path(path) if len(path) > 1 else None
+        for path in paths
+    ]
+    monitored = np.array(
+        [i for i, ids in enumerate(path_link_ids) if ids is not None],
+        dtype=np.intp,
+    )
+    monitored_ids = [path_link_ids[int(i)] for i in monitored]
+    if monitored_ids:
+        lengths = np.fromiter(
+            (ids.size for ids in monitored_ids),
+            dtype=np.intp,
+            count=len(monitored_ids),
+        )
+        csr_indptr = np.zeros(len(monitored_ids) + 1, dtype=np.intp)
+        np.cumsum(lengths, out=csr_indptr[1:])
+        csr_indices = np.concatenate(monitored_ids)
+    else:
+        csr_indptr = np.zeros(1, dtype=np.intp)
+        csr_indices = np.empty(0, dtype=np.intp)
+    by_link: Dict[int, List[int]] = {}
+    for local, ids in enumerate(monitored_ids):
+        for link_id in ids.tolist():
+            by_link.setdefault(link_id, []).append(local)
+    link_rows = [
+        (link_id, np.array(rows, dtype=np.intp))
+        for link_id, rows in sorted(by_link.items())
+    ]
+    return PairPaths(
+        paths=paths,
+        path_index_map={tuple(p): i for i, p in enumerate(paths)},
+        query_switches=switches_to_query(network.topology, src_tor, dst_tor),
+        monitored=monitored,
+        csr_indices=csr_indices,
+        csr_indptr=csr_indptr,
+        link_rows=link_rows,
+    )
+
+
 class PathMonitor:
     """Tracks path states between one (source ToR, destination ToR) pair.
 
-    Maintains the paper's two vectors: ``path_states`` (PV), the bottleneck
-    state of each equal-cost path, and — via the owning daemon — FV, the
-    number of elephant flows the host itself sends along each path.
+    Maintains the paper's two vectors: PV as the ``state_band`` /
+    ``state_eleph`` arrays (the ``path_states`` property is the
+    :class:`PathState` object view of the same data), and — via the owning
+    daemon — FV, the number of elephant flows the host itself sends along
+    each path. With a ``registry``, polls are answered from the fleet-wide
+    cache; standalone monitors query the network directly.
     """
 
     def __init__(
@@ -60,69 +140,113 @@ class PathMonitor:
         dst_tor: str,
         ledger: MessageLedger,
         message_sizes: MessageSizes = MessageSizes(),
+        registry: Optional[MonitorRegistry] = None,
     ) -> None:
         self.network = network
         self.src_tor = src_tor
         self.dst_tor = dst_tor
         self.ledger = ledger
         self.message_sizes = message_sizes
-        self.paths: List[SwitchPath] = network.topology.equal_cost_paths(src_tor, dst_tor)
-        #: path -> position lookup; path_index() runs once per elephant per
-        #: scheduling round, so an O(P) list scan adds up at scale.
-        self._path_index: dict = {tuple(p): i for i, p in enumerate(self.paths)}
-        self.query_switches = switches_to_query(network.topology, src_tor, dst_tor)
-        # Intern every monitored path's switch-switch link ids once, at
-        # registration: each polling round is then a single vectorized
-        # batch_path_state over one CSR instead of per-path dict walks.
-        # Same-ToR pairs have the single length-1 path with no links to
-        # monitor; they are excluded from the CSR and answered statically.
-        path_link_ids = [
-            network.index_switch_path(path) if len(path) > 1 else None
-            for path in self.paths
-        ]
-        self._monitored: List[int] = [
-            i for i, ids in enumerate(path_link_ids) if ids is not None
-        ]
-        monitored_ids = [path_link_ids[i] for i in self._monitored]
-        if monitored_ids:
-            lengths = np.fromiter(
-                (ids.size for ids in monitored_ids),
-                dtype=np.intp,
-                count=len(monitored_ids),
-            )
-            self._csr_indptr = np.zeros(len(monitored_ids) + 1, dtype=np.intp)
-            np.cumsum(lengths, out=self._csr_indptr[1:])
-            self._csr_indices = np.concatenate(monitored_ids)
+        self.registry = registry
+        if registry is not None:
+            pair_paths = registry.register(src_tor, dst_tor)
         else:
-            self._csr_indptr = np.zeros(1, dtype=np.intp)
-            self._csr_indices = np.empty(0, dtype=np.intp)
-        self.path_states: List[PathState] = [
-            PathState(bandwidth_bps=0.0, flow_numbers=0) for _ in self.paths
-        ]
+            pair_paths = index_pair_paths(network, src_tor, dst_tor)
+        self.pair_paths = pair_paths
+        self.paths: List[SwitchPath] = pair_paths.paths
+        self._path_index = pair_paths.path_index_map
+        self.query_switches = pair_paths.query_switches
+        self._monitored = pair_paths.monitored
+        self._csr_indices = pair_paths.csr_indices
+        self._csr_indptr = pair_paths.csr_indptr
+        #: per-path bottleneck state (PV), kept as arrays for the
+        #: vectorized round; zeros until the first poll, like the old
+        #: ``PathState(0, 0)`` initialization.
+        self.state_band = np.zeros(len(self.paths), dtype=float)
+        self.state_eleph = np.zeros(len(self.paths), dtype=np.int64)
         self.queries_sent = 0
+        self._released = False
 
-    def query(self) -> List[PathState]:
-        """One polling round: query switches, assemble per-path states."""
-        # Message accounting: one query out and one reply back per switch.
+    def refresh(self) -> None:
+        """One polling round: query switches, assemble per-path states.
+
+        The hot path — updates the state arrays in place and builds no
+        :class:`PathState` objects. Message accounting is identical with
+        and without a registry (the batching is a simulator-side
+        optimization; the modelled protocol still polls every switch).
+        """
         n = len(self.query_switches)
         self.ledger.record("dard_query", self.message_sizes.dard_query, n)
         self.ledger.record("dard_reply", self.message_sizes.dard_reply, n)
         self.queries_sent += n
-        # Same-ToR paths have no switch-switch link to monitor.
-        states = [
-            PathState(bandwidth_bps=float("inf"), flow_numbers=0) for _ in self.paths
-        ]
-        if self._monitored:
-            link_states = self.network.batch_path_state(
+        rows = self._monitored
+        if rows.size == 0:
+            # Same-ToR paths have no switch-switch link to monitor.
+            self.state_band.fill(np.inf)
+            self.state_eleph.fill(0)
+            return
+        if self.registry is not None:
+            band, eleph = self.registry.pair_rows(self.src_tor, self.dst_tor)
+        else:
+            band, eleph = self.network.batch_path_state_arrays(
                 self._csr_indices, self._csr_indptr
             )
-            for position, link_state in zip(self._monitored, link_states):
-                states[position] = PathState(
-                    bandwidth_bps=link_state.bandwidth_bps,
-                    flow_numbers=link_state.elephant_flows,
-                )
-        self.path_states = states
-        return states
+        if rows.size == self.state_band.size:
+            np.copyto(self.state_band, band)
+            np.copyto(self.state_eleph, eleph)
+        else:
+            self.state_band.fill(np.inf)
+            self.state_eleph.fill(0)
+            self.state_band[rows] = band
+            self.state_eleph[rows] = eleph
+
+    def query(self) -> List[PathState]:
+        """:meth:`refresh`, returning the object view (test convenience)."""
+        self.refresh()
+        return self.path_states
+
+    @property
+    def path_states(self) -> List[PathState]:
+        """PV as :class:`PathState` objects, built on demand.
+
+        A fresh list each access — mutate the monitor through
+        :meth:`note_shift` (or assign a whole new list), not by writing
+        into the returned list.
+        """
+        return [
+            PathState(bandwidth_bps=float(band), flow_numbers=int(eleph))
+            for band, eleph in zip(
+                self.state_band.tolist(), self.state_eleph.tolist()
+            )
+        ]
+
+    @path_states.setter
+    def path_states(self, states: List[PathState]) -> None:
+        self.state_band = np.array(
+            [state.bandwidth_bps for state in states], dtype=float
+        )
+        self.state_eleph = np.array(
+            [state.flow_numbers for state in states], dtype=np.int64
+        )
+
+    def note_shift(self, from_index: int, to_index: int) -> None:
+        """Optimistic within-round update after shifting one elephant.
+
+        Both sides: the target path carries one more elephant (the old
+        ``PathState.with_one_more_flow()`` update) *and* the vacated path
+        one fewer — so later decisions in the same round see neither a
+        stale-pessimistic source nor a stale-optimistic target. The next
+        poll refreshes ground truth either way.
+        """
+        self.state_eleph[to_index] += 1
+        if self.state_eleph[from_index] > 0:
+            self.state_eleph[from_index] -= 1
+
+    def release(self) -> None:
+        """Drop this monitor's registry registration (daemon teardown)."""
+        if self.registry is not None and not self._released:
+            self._released = True
+            self.registry.release(self.src_tor, self.dst_tor)
 
     def path_index(self, switch_path: SwitchPath) -> int:
         """Which monitored path a flow's current route corresponds to."""

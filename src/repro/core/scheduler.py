@@ -12,18 +12,30 @@ Wires per-host daemons into the simulator:
   credits exactly this per-host randomization for the absence of
   synchronized path flapping (§4.2). Set ``synchronized=True`` to disable
   the jitter and reproduce the pathological case (ablation bench).
+
+With ``vectorized=True`` (the default) the scheduler owns a fleet-wide
+:class:`~repro.core.registry.MonitorRegistry` — monitor polls are answered
+from one batched, dirty-tracked cache — and daemons run the vectorized
+scheduling round. ``vectorized=False`` preserves the original scalar
+control plane (per-monitor numpy calls, tuple-keyed FV) as the reference
+implementation for the differential oracle; both modes make bit-identical
+decisions (see DESIGN.md "Control-plane batching"). Control-plane wall
+time is metered around both loops either way, so the two modes' costs are
+directly comparable in ``Network.perf_stats()``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import time
+from typing import Dict, List, Optional
 
 from repro.common.units import MBPS
 from repro.scheduling.base import Scheduler, SchedulerContext
 from repro.scheduling.messages import MessageSizes
 from repro.simulator.flows import Flow, FlowComponent
 from repro.baselines.ecmp import five_tuple_hash
-from repro.core.daemon import HostDaemon
+from repro.core.daemon import HostDaemon, ShiftRecord
+from repro.core.registry import MonitorRegistry
 
 DEFAULT_DELTA_BPS = 10 * MBPS
 DEFAULT_QUERY_INTERVAL_S = 1.0
@@ -44,6 +56,7 @@ class DardScheduler(Scheduler):
         jitter_range_s: tuple = DEFAULT_JITTER_RANGE_S,
         synchronized: bool = False,
         message_sizes: MessageSizes = MessageSizes(),
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         self.delta_bps = delta_bps
@@ -52,12 +65,25 @@ class DardScheduler(Scheduler):
         self.jitter_range_s = jitter_range_s
         self.synchronized = synchronized
         self.message_sizes = message_sizes
+        self.vectorized = vectorized
         self.daemons: Dict[str, HostDaemon] = {}
+        self.registry: Optional[MonitorRegistry] = None
+        #: fleet-wide shift journal, in event order (shared by all
+        #: daemons); the scalar-vs-batched oracle compares these.
+        self.shift_log: List[ShiftRecord] = []
+        # Control-plane wall time (telemetry only — simulated time is
+        # event-driven and never reads the wall clock).
+        self._stat_query_rounds = 0
+        self._stat_query_time_s = 0.0
+        self._stat_round_time_s = 0.0
 
     def attach(self, ctx: SchedulerContext) -> None:
         super().attach(ctx)
+        if self.vectorized:
+            self.registry = MonitorRegistry(ctx.network)
         ctx.network.elephant_listeners.append(self._on_elephant)
         ctx.network.flow_completed_listeners.append(self._on_flow_completed)
+        ctx.network.controlplane_stats_providers.append(self.controlplane_stats)
 
     def _jitter(self) -> float:
         if self.synchronized:
@@ -87,24 +113,40 @@ class DardScheduler(Scheduler):
                 ledger=self.ledger,
                 delta_bps=self.delta_bps,
                 message_sizes=self.message_sizes,
+                registry=self.registry,
+                vectorized=self.vectorized,
+                shift_log=self.shift_log,
             )
             self.daemons[host] = daemon
             # Each host runs its own independent control loops; the
             # scheduling loop re-draws its random jitter every round.
-            self.ctx.engine.schedule_every(self.query_interval_s, daemon.query_monitors)
+            self.ctx.engine.schedule_every(
+                self.query_interval_s, lambda d=daemon: self._timed_query(d)
+            )
             self.ctx.engine.schedule_every(
                 self.scheduling_interval_s,
-                daemon.run_scheduling_round,
+                lambda d=daemon: self._timed_round(d),
                 jitter=self._jitter,
             )
         return daemon
+
+    def _timed_query(self, daemon: HostDaemon) -> None:
+        started = time.perf_counter()  # dardlint: disable=DET002
+        daemon.query_monitors()
+        self._stat_query_rounds += 1
+        self._stat_query_time_s += time.perf_counter() - started  # dardlint: disable=DET002
+
+    def _timed_round(self, daemon: HostDaemon) -> None:
+        started = time.perf_counter()  # dardlint: disable=DET002
+        daemon.run_scheduling_round()
+        self._stat_round_time_s += time.perf_counter() - started  # dardlint: disable=DET002
 
     def _on_elephant(self, flow: Flow) -> None:
         daemon = self.daemon_for(flow.src)
         daemon.on_elephant(flow)
         # Prime the new monitor immediately so the first scheduling round
         # after detection sees real path states rather than zeros.
-        daemon.query_monitors()
+        self._timed_query(daemon)
 
     def _on_flow_completed(self, flow: Flow) -> None:
         daemon = self.daemons.get(flow.src)
@@ -116,3 +158,27 @@ class DardScheduler(Scheduler):
     def total_shifts(self) -> int:
         """Total selfish path shifts performed across all host daemons."""
         return sum(d.shifts_performed for d in self.daemons.values())
+
+    def controlplane_stats(self) -> Dict[str, float]:
+        """The ``cp_*`` telemetry merged into ``Network.perf_stats()``.
+
+        ``cp_query_time_s`` / ``cp_round_time_s`` are wall time inside the
+        two control loops — the quantity the ≥2x batching gate of
+        ``bench_perf_controlplane`` is measured on.
+        """
+        daemons = self.daemons.values()
+        stats = {
+            "cp_vectorized": float(bool(self.vectorized)),
+            "cp_daemons": float(len(self.daemons)),
+            "cp_monitors_live": float(sum(len(d.monitors) for d in daemons)),
+            "cp_query_rounds": float(self._stat_query_rounds),
+            "cp_query_time_s": self._stat_query_time_s,
+            "cp_round_time_s": self._stat_round_time_s,
+            "cp_vector_rounds": float(sum(d.vector_rounds for d in daemons)),
+            "cp_scalar_rounds": float(sum(d.scalar_rounds for d in daemons)),
+            "cp_shift_tails": float(sum(d.shift_tails for d in daemons)),
+            "cp_shifts": float(self.total_shifts()),
+        }
+        if self.registry is not None:
+            stats.update(self.registry.stats())
+        return stats

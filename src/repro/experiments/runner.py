@@ -91,6 +91,10 @@ class ScenarioResult:
     control_bytes_by_kind: Dict[str, float]
     peak_elephants: int = 0
     dard_shifts: int = 0
+    #: DARD only: the fleet-wide shift journal, one ``(time, host,
+    #: flow id, from index, to index)`` tuple per shift in event order —
+    #: the scalar-vs-batched control-plane oracle compares these.
+    dard_shift_log: tuple = ()
 
     @property
     def fcts(self) -> List[float]:
@@ -177,7 +181,9 @@ def run_scenario(
     deadline = config.duration_s + config.drain_limit_s
     while network.flows and network.engine.now < deadline:
         network.engine.run_until(min(network.engine.now + 5.0, deadline))
-    dard_shifts = scheduler.total_shifts() if isinstance(scheduler, DardScheduler) else 0
+    is_dard = isinstance(scheduler, DardScheduler)
+    dard_shifts = scheduler.total_shifts() if is_dard else 0
+    dard_shift_log = tuple(scheduler.shift_log) if is_dard else ()
     return ScenarioResult(
         config=config,
         records=list(network.records),
@@ -188,4 +194,5 @@ def run_scenario(
         control_bytes_by_kind=dict(scheduler.ledger.bytes_by_kind),
         peak_elephants=network.peak_elephants,
         dard_shifts=dard_shifts,
+        dard_shift_log=dard_shift_log,
     )

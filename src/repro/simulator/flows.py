@@ -79,6 +79,12 @@ class Flow:
     component_link_ids: Optional[List] = None
     #: sorted unique link ids across all components (set by the Network).
     unique_link_ids: Optional[object] = None
+    #: which monitored equal-cost path this flow currently rides, as an
+    #: index into its (src ToR, dst ToR) monitor's path list. Assigned by
+    #: the DARD daemon at elephant promotion and on every shift, so the
+    #: control plane's FV accounting compares integers instead of hashing
+    #: switch-path tuples. ``None`` for mice and non-DARD flows.
+    monitored_path_index: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.remaining_bytes = float(self.size_bytes)

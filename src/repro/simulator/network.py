@@ -196,6 +196,16 @@ class Network:
         self.link_failed_listeners: List[Callable[[str, str], None]] = []
         self.link_restored_listeners: List[Callable[[str, str], None]] = []
 
+        #: control-plane cache invalidation: called with a link-id array
+        #: whenever those links' reported state (elephant count via
+        #: :meth:`_adjust_link_counts`, or bandwidth via fail/restore)
+        #: changes. The DARD :class:`~repro.core.registry.MonitorRegistry`
+        #: registers here to mark its cached path-state rows dirty.
+        self.link_state_watchers: List[Callable[[np.ndarray], None]] = []
+        #: extra ``perf_stats()`` key providers (the DARD control plane
+        #: merges its ``cp_*`` telemetry through this seam).
+        self.controlplane_stats_providers: List[Callable[[], Dict[str, float]]] = []
+
         # Reallocation / event telemetry (see perf_stats).
         self._stat_realloc_calls = 0
         self._stat_realloc_requests = 0
@@ -349,6 +359,7 @@ class Network:
         self._force_full = True
         self._stat_realloc_sync += 1
         self._reallocate()
+        self._notify_link_state(u, v)
         for listener in self.link_failed_listeners:
             listener(u, v)
 
@@ -365,8 +376,20 @@ class Network:
         self._force_full = True
         self._stat_realloc_sync += 1
         self._reallocate()
+        self._notify_link_state(u, v)
         for listener in self.link_restored_listeners:
             listener(u, v)
+
+    def _notify_link_state(self, u: str, v: str) -> None:
+        """Tell link-state watchers both directed ids of a cable changed."""
+        if not self.link_state_watchers:
+            return
+        ids = np.array(
+            [self.link_index.id_of((u, v)), self.link_index.id_of((v, u))],
+            dtype=np.intp,
+        )
+        for watcher in self.link_state_watchers:
+            watcher(ids)
 
     # -- switch state query API (what DARD monitors poll) ----------------------
 
@@ -399,20 +422,16 @@ class Network:
         ids = self.link_index.index_path(path)
         return ids[self.link_index.switch_link_mask[ids]]
 
-    def batch_path_state(
+    def _batch_bottleneck(
         self, indices: np.ndarray, indptr: np.ndarray
-    ) -> List[LinkState]:
-        """Bottleneck :class:`LinkState` of many paths in one array pass.
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-CSR-row bottleneck: ``(bandwidth array, chosen link ids)``.
 
-        ``indices``/``indptr`` are a CSR over link ids: path ``k`` crosses
-        ``indices[indptr[k]:indptr[k + 1]]`` (each row non-empty, e.g. from
-        :meth:`index_switch_path`). Returns one state per path — the
-        *first* minimum-BoNF link of each row, matching the sequential
-        ``min()`` tie-breaking of :meth:`path_state` exactly.
+        The shared vectorized core of :meth:`batch_path_state` and
+        :meth:`batch_path_state_arrays`: picks each row's *first*
+        minimum-BoNF link, matching the sequential ``min()`` tie-breaking
+        of :meth:`path_state` exactly.
         """
-        num_paths = int(indptr.shape[0]) - 1
-        if num_paths <= 0:
-            return []
         lengths = np.diff(indptr)
         if not np.all(lengths > 0):
             raise SimulationError("batch_path_state rows must be non-empty")
@@ -431,7 +450,23 @@ class Network:
             bonf == np.repeat(best, lengths), np.arange(nnz, dtype=np.intp), nnz
         )
         first = np.minimum.reduceat(position, starts)
-        chosen = indices[first]
+        return band[first], indices[first]
+
+    def batch_path_state(
+        self, indices: np.ndarray, indptr: np.ndarray
+    ) -> List[LinkState]:
+        """Bottleneck :class:`LinkState` of many paths in one array pass.
+
+        ``indices``/``indptr`` are a CSR over link ids: path ``k`` crosses
+        ``indices[indptr[k]:indptr[k + 1]]`` (each row non-empty, e.g. from
+        :meth:`index_switch_path`). Returns one state per path — the
+        *first* minimum-BoNF link of each row, matching the sequential
+        ``min()`` tie-breaking of :meth:`path_state` exactly.
+        """
+        num_paths = int(indptr.shape[0]) - 1
+        if num_paths <= 0:
+            return []
+        band, chosen = self._batch_bottleneck(indices, indptr)
         return [
             LinkState(
                 bandwidth_bps=float(bandwidth),
@@ -439,11 +474,29 @@ class Network:
                 total_flows=int(total),
             )
             for bandwidth, elephants, total in zip(
-                band[first].tolist(),
+                band.tolist(),
                 self._eleph_array[chosen].tolist(),
                 self._total_array[chosen].tolist(),
             )
         ]
+
+    def batch_path_state_arrays(
+        self, indices: np.ndarray, indptr: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row bottleneck ``(bandwidth, elephant count)`` arrays.
+
+        The allocation-free sibling of :meth:`batch_path_state` for callers
+        that keep path state in arrays (the DARD monitor registry): no
+        :class:`LinkState` objects are built, and the two returned arrays
+        (float64 bandwidth, int64 elephant count) use the exact same
+        bottleneck selection, so ``PathState(band[k], eleph[k])`` equals
+        the object path bit-for-bit.
+        """
+        num_paths = int(indptr.shape[0]) - 1
+        if num_paths <= 0:
+            return np.empty(0, dtype=float), np.empty(0, dtype=np.int64)
+        band, chosen = self._batch_bottleneck(indices, indptr)
+        return band, self._eleph_array[chosen]
 
     def path_state(self, path: Sequence[str], skip_host_links: bool = True) -> LinkState:
         """The most-congested-link state along a node path (paper §2.5).
@@ -526,8 +579,14 @@ class Network:
           updates whose fire time moved vs stayed identical (preserved
           events are still cancel+re-pushed so event ordering stays
           deterministic; see ``EventEngine.reschedule``).
+
+        Registered ``controlplane_stats_providers`` (the DARD scheduler's
+        ``cp_*`` keys — monitor/registry population, batched query rounds,
+        vector-decision vs scalar-fallback counts, control-plane wall
+        time; see DESIGN.md "Control-plane batching") are merged into the
+        returned dict after the base keys.
         """
-        return {
+        stats: Dict[str, float] = {
             "realloc_calls": self._stat_realloc_calls,
             "realloc_requests": self._stat_realloc_requests,
             "realloc_coalesced": self._stat_realloc_coalesced,
@@ -550,6 +609,9 @@ class Network:
             "events_rescheduled": self._stat_events_rescheduled,
             "events_preserved": self._stat_events_preserved,
         }
+        for provider in self.controlplane_stats_providers:
+            stats.update(provider())
+        return stats
 
     # -- self-checks --------------------------------------------------------------
 
@@ -713,6 +775,8 @@ class Network:
         self._total_array[ids] += delta
         if flow.is_elephant:
             self._eleph_array[ids] += delta
+            for watcher in self.link_state_watchers:
+                watcher(ids)
 
     def _promote_elephant(self, flow_id: int) -> None:
         flow = self.flows.get(flow_id)

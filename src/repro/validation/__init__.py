@@ -9,9 +9,11 @@ Four layers, composable and individually importable:
   engine's after-event hook;
 * :mod:`repro.validation.oracles` — differential oracles: indexed vs
   reference allocator, live network vs reference, the incremental
-  component-scoped reallocator vs a bit-exact full refill, and the fluid
-  simulator vs the packet-level TCP micro-simulator inside the documented
-  0.81-1.02x FCT agreement band;
+  component-scoped reallocator vs a bit-exact full refill, the batched
+  vectorized DARD control plane vs the scalar per-monitor reference
+  (same shift journal, bit-identical FCTs), and the fluid simulator vs
+  the packet-level TCP micro-simulator inside the documented 0.81-1.02x
+  FCT agreement band;
 * :mod:`repro.validation.fuzz` — seeded randomized scenario fuzzing with
   shrink-on-failure minimal reproductions;
 * :mod:`repro.validation.snapshot` — golden-trace regression snapshots
@@ -36,8 +38,11 @@ from repro.validation.oracles import (
     FLUID_VS_PACKET_SCENARIOS,
     allocator_equivalence_suite,
     check_allocator_equivalence,
+    check_controlplane_equivalence,
     check_incremental_against_full,
     check_network_against_reference,
+    compare_controlplane_results,
+    controlplane_equivalence_suite,
     run_fluid_vs_packet,
 )
 from repro.validation.fuzz import (
@@ -70,6 +75,7 @@ __all__ = [
     "SwitchTableSnapshot",
     "allocator_equivalence_suite",
     "check_allocator_equivalence",
+    "check_controlplane_equivalence",
     "check_dynamics_monotone",
     "check_incremental_against_full",
     "check_maxmin_certificate",
@@ -78,8 +84,10 @@ __all__ = [
     "check_static_forwarding",
     "check_theorem1_bound_live",
     "collect_goldens",
+    "compare_controlplane_results",
     "compare_goldens",
     "compare_goldens_incremental",
+    "controlplane_equivalence_suite",
     "inject_capacity_bug",
     "random_scenario",
     "run_case",

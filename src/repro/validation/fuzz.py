@@ -131,6 +131,12 @@ def run_case(
     checking every ``every_n_events`` processed events and once
     more after the run drains. ``corrupt`` (used by ``--inject-bug``)
     runs against the freshly built network before any traffic starts.
+
+    DARD cases additionally run the control-plane differential oracle:
+    the scenario is re-run with the scalar reference control plane
+    (``vectorized=False``) and the two results must agree on the shift
+    journal, every flow record, and control-byte accounting — a
+    divergence is a finding just like an invariant violation.
     """
     from repro.addressing import HierarchicalAddressing, PathCodec
     from repro.switches import SwitchFabric
@@ -138,6 +144,7 @@ def run_case(
     from repro.validation.oracles import (
         check_incremental_against_full,
         check_network_against_reference,
+        compare_controlplane_results,
     )
 
     checker_box: List[InvariantChecker] = []
@@ -161,6 +168,17 @@ def run_case(
     if checker_box:
         checker_box[0].run_checks()
         checker_box[0].detach()
+    if config.scheduler == "dard" and config.scheduler_params.get("vectorized", True):
+        # Same world for the reference run — including any injected bug —
+        # so this oracle only ever fires on control-plane divergence.
+        scalar = run_scenario(
+            dataclasses.replace(
+                config,
+                scheduler_params={**config.scheduler_params, "vectorized": False},
+            ),
+            instrument=corrupt,
+        )
+        compare_controlplane_results(result, scalar)
     return result
 
 

@@ -1,6 +1,6 @@
 """Differential oracles: two independent implementations must agree.
 
-Three oracles:
+Four oracles:
 
 * **allocator equivalence** — the vectorized integer-indexed fast path
   (``maxmin_allocate_indexed``, via its string-keyed wrapper) against the
@@ -11,6 +11,11 @@ Three oracles:
   component rates against a from-scratch reference allocation over its
   own flow state (catches divergence anywhere in the CSR assembly /
   caching layer, e.g. a perturbed capacity array entry);
+* **control-plane equivalence** — the batched vectorized DARD control
+  plane (monitor registry + matrix Algorithm 1 + integer FV) against the
+  preserved scalar per-monitor reference: the *same shift sequence* and
+  *bit-identical FCTs* on the same scenario (see DESIGN.md
+  "Control-plane batching");
 * **fluid vs packet** — the fluid simulator's FCTs against the
   packet-level TCP micro-simulator on the documented validation
   scenarios, enforcing the 0.81-1.02x agreement band from
@@ -197,6 +202,115 @@ def check_incremental_against_full(network: Network) -> None:
             f"{network._load_array[bad]!r} but a full recount gives "
             f"{expected_load[bad]!r} (bit-exact contract)",
         )
+
+
+# ---------------------------------------------------------------------------
+# Control-plane equivalence (batched vectorized vs scalar reference)
+# ---------------------------------------------------------------------------
+
+def compare_controlplane_results(vectorized, reference) -> None:
+    """Raise unless two DARD runs of one scenario are behaviorally identical.
+
+    The contract is exact, not approximate: the batched control plane is a
+    pure execution-strategy change, so the shift journals must match tuple
+    for tuple and every completed flow's record (FCT endpoints, path
+    switches, retransmissions) bit for bit. Control-message accounting
+    must agree too — batching is a simulator optimization, not a protocol
+    change.
+    """
+    if vectorized.dard_shift_log != reference.dard_shift_log:
+        ours, theirs = vectorized.dard_shift_log, reference.dard_shift_log
+        for k, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                raise OracleViolation(
+                    "controlplane-equivalence",
+                    f"shift {k} diverges: vectorized {a!r} != scalar {b!r}",
+                    subject=k,
+                )
+        raise OracleViolation(
+            "controlplane-equivalence",
+            f"shift journal length {len(ours)} (vectorized) != "
+            f"{len(theirs)} (scalar)",
+        )
+    if len(vectorized.records) != len(reference.records):
+        raise OracleViolation(
+            "controlplane-equivalence",
+            f"{len(vectorized.records)} completed flows (vectorized) != "
+            f"{len(reference.records)} (scalar)",
+        )
+    for ours, theirs in zip(vectorized.records, reference.records):
+        if ours != theirs:
+            raise OracleViolation(
+                "controlplane-equivalence",
+                f"flow {ours.flow_id}: vectorized record {ours!r} != "
+                f"scalar {theirs!r} (bit-exact contract)",
+                subject=ours.flow_id,
+            )
+    if vectorized.control_bytes != reference.control_bytes:
+        raise OracleViolation(
+            "controlplane-equivalence",
+            f"control bytes {vectorized.control_bytes!r} (vectorized) != "
+            f"{reference.control_bytes!r} (scalar)",
+        )
+
+
+def _with_vectorized(config, vectorized: bool):
+    import dataclasses
+
+    params = dict(config.scheduler_params)
+    params["vectorized"] = vectorized
+    return dataclasses.replace(config, scheduler_params=params)
+
+
+def check_controlplane_equivalence(config) -> dict:
+    """Run one DARD scenario in both control-plane modes; raise on divergence.
+
+    Returns a small summary dict (flows, shifts) for reporting.
+    """
+    from repro.experiments.runner import run_scenario
+
+    if config.scheduler != "dard":
+        raise ValueError(
+            f"control-plane oracle needs a dard scenario, got {config.scheduler!r}"
+        )
+    vectorized = run_scenario(_with_vectorized(config, True))
+    reference = run_scenario(_with_vectorized(config, False))
+    compare_controlplane_results(vectorized, reference)
+    return {
+        "flows": len(vectorized.records),
+        "shifts": vectorized.dard_shifts,
+    }
+
+
+def controlplane_equivalence_suite() -> List[dict]:
+    """The batched-vs-scalar oracle over the golden DARD scenario plus a
+    failure-rich stride case; returns one summary row per scenario."""
+    from repro.experiments.runner import ScenarioConfig
+    from repro.validation.snapshot import GOLDEN_SCENARIOS
+
+    scenarios = [GOLDEN_SCENARIOS["fattree_dard_random"]]
+    scenarios.append(
+        ScenarioConfig(
+            topology="fattree",
+            topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+            pattern="stride",
+            scheduler="dard",
+            arrival_rate_per_host=0.1,
+            duration_s=25.0,
+            flow_size_bytes=48 * MB,
+            seed=7,
+            link_events=(
+                ("fail", 12.0, "agg_0_0", "core_0_0"),
+                ("restore", 18.0, "agg_0_0", "core_0_0"),
+            ),
+        )
+    )
+    rows = []
+    for config in scenarios:
+        summary = check_controlplane_equivalence(config)
+        summary["pattern"] = config.pattern
+        rows.append(summary)
+    return rows
 
 
 # ---------------------------------------------------------------------------

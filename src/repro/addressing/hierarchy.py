@@ -12,8 +12,12 @@ topology and subdivides the base prefix level by level:
 
 The paper fixes 6 bits per level (supporting p <= 16 fat-trees under
 ``10.0.0.0/8``); we default to 6 bits but auto-widen per level when the
-topology needs more branches, raising :class:`AddressingError` if 24 bits
-cannot accommodate the hierarchy.
+topology needs more branches. When no base prefix is given and the
+default ``10.0.0.0/8`` cannot fit the widened hierarchy (p=64 fat-trees
+need 27 subdivision bits), the default base itself auto-shortens to the
+longest prefix that can — topologies that fit under /8 keep their exact
+historical addresses. An explicitly passed base is never adjusted;
+:class:`AddressingError` is raised if the hierarchy cannot fit under it.
 """
 
 from __future__ import annotations
@@ -42,7 +46,6 @@ class HierarchicalAddressing:
         bits_per_level: int = 6,
     ) -> None:
         self.topology = topology
-        self.base = base if base is not None else Prefix.parse("10.0.0.0/8")
         cores = sorted(topology.cores())
         max_aggs = max(len(topology.down_neighbors(c)) for c in cores)
         max_tors = max(len(topology.down_neighbors(a)) for a in topology.aggs())
@@ -50,7 +53,11 @@ class HierarchicalAddressing:
         self.core_bits = _bits_needed(len(cores), bits_per_level)
         self.agg_bits = _bits_needed(max_aggs, bits_per_level)
         self.tor_bits = _bits_needed(max_tors, bits_per_level)
-        host_bits = 32 - self.base.length - self.core_bits - self.agg_bits - self.tor_bits
+        level_bits = self.core_bits + self.agg_bits + self.tor_bits
+        if base is None:
+            base = self._default_base(level_bits, _bits_needed(max_hosts, 1))
+        self.base = base
+        host_bits = 32 - self.base.length - level_bits
         if host_bits < 1 or (1 << host_bits) < max_hosts:
             raise AddressingError(
                 "address space exhausted: "
@@ -64,6 +71,25 @@ class HierarchicalAddressing:
         self._host_addresses: Dict[str, Dict[Chain, int]] = {}
         self._address_owner: Dict[int, Tuple[str, Chain]] = {}
         self._allocate()
+
+    @staticmethod
+    def _default_base(level_bits: int, min_host_bits: int) -> Prefix:
+        """The paper's ``10.0.0.0/8``, auto-shortened only when it must be.
+
+        Topologies whose hierarchy fits in 24 bits keep the historical /8
+        (and thus their exact historical addresses); larger ones (p=64
+        fat-trees) get the longest base prefix that still leaves room, so
+        the level subdivision stays identical and only the base shrinks.
+        """
+        length = min(8, 32 - level_bits - min_host_bits)
+        if length < 0:
+            raise AddressingError(
+                f"hierarchy needs {level_bits} level bits + {min_host_bits} host "
+                "bits: does not fit in a 32-bit address space"
+            )
+        ten = 10 << 24
+        value = (ten >> (32 - length)) << (32 - length) if length else 0
+        return Prefix(value, length)
 
     # -- allocation ------------------------------------------------------------
 

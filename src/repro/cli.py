@@ -313,9 +313,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         allocator_equivalence_suite,
         compare_goldens,
         compare_goldens_incremental,
+        compare_goldens_settle_reference,
         controlplane_equivalence_suite,
         run_fluid_vs_packet,
         run_fuzz,
+        settle_equivalence_suite,
         store_goldens,
     )
 
@@ -341,6 +343,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         except ReproError as error:
             failed = True
             print(f"oracle: control-plane equivalence FAILED\n  {error}")
+
+        print("oracle: columnar flow-store vs scalar settle equivalence ...")
+        try:
+            for row in settle_equivalence_suite():
+                print(
+                    f"  {row['scheduler']:8s} {row['pattern']:14s} "
+                    f"flows={row['flows']} (records bit-identical)"
+                )
+            print("oracle: settle equivalence OK")
+        except ReproError as error:
+            failed = True
+            print(f"oracle: settle equivalence FAILED\n  {error}")
 
         print("oracle: fluid vs packet FCT agreement ...")
         try:
@@ -384,6 +398,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 print(f"  {line}")
         else:
             print(f"golden[incremental]: matches {golden_path}")
+        # The scalar settle reference must reproduce the store-mode goldens
+        # bit-for-bit — no exemptions; the settle path changes no counters.
+        mismatches = compare_goldens_settle_reference(golden_path, progress=print)
+        if mismatches:
+            failed = True
+            print(f"golden[settle-reference]: {len(mismatches)} mismatch(es) "
+                  f"against {golden_path}:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"golden[settle-reference]: matches {golden_path}")
 
     if args.fuzz:
         report = run_fuzz(

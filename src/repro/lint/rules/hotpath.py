@@ -1,10 +1,16 @@
-"""Hot-path rule: PERF001.
+"""Hot-path rules: PERF001 and PERF002.
 
 The reallocation hot loop (PR 1/PR 3 of this repo's history) was moved
 from string-keyed dict walks to dense integer ids precisely because
-hashing ``(str, str)`` link tuples per event dominated profiles. This
-rule pins that win down: inside the known hot functions, link state may
-only be addressed through :class:`LinkIndex` dense ids and numpy arrays.
+hashing ``(str, str)`` link tuples per event dominated profiles. PERF001
+pins that win down: inside the known hot functions, link state may only
+be addressed through :class:`LinkIndex` dense ids and numpy arrays.
+
+PERF002 pins down the columnar flow-state win the same way (PR 6): the
+per-event functions — settle, completion-ETA, finisher scan — must go
+through the :class:`FlowStore` columns, never iterate the ``flows`` dict
+per event. The designated scalar-reference helpers (``*_reference``) are
+the oracle and iterate by design; they are outside the checked set.
 """
 
 from __future__ import annotations
@@ -142,4 +148,92 @@ class StringKeyedHotLookup(Rule):
                     f"string-keyed .{node.func.value.attr}.get(...) in hot "
                     f"function {function.name}(); use the dense arrays",
                 )
+        return None
+
+
+#: Per-event network functions that must stay columnar. The scalar
+#: reference twins (``_settle_reference`` etc.) are deliberately absent:
+#: they are the differential oracle and iterate flows by design.
+_EVENT_FUNCTIONS = {
+    "_settle",
+    "_schedule_next_completion",
+    "_on_completion_event",
+}
+
+#: Mapping-view calls that enumerate the flows dict.
+_FLOWS_VIEW_METHODS = {"values", "items", "keys"}
+
+
+def _is_flows_attribute(node: ast.AST) -> bool:
+    """Whether ``node`` is an attribute access ending in ``.flows``."""
+    return isinstance(node, ast.Attribute) and node.attr == "flows"
+
+
+def _is_flows_enumeration(node: ast.AST) -> bool:
+    """``X.flows`` itself, or ``X.flows.values()/items()/keys()``."""
+    if _is_flows_attribute(node):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FLOWS_VIEW_METHODS
+        and _is_flows_attribute(node.func.value)
+    )
+
+
+@register
+class PerEventFlowIteration(Rule):
+    """PERF002: per-flow iteration inside a per-event network function.
+
+    Flags, within the per-event functions (settle / completion-ETA /
+    finisher scan): ``for`` loops and comprehensions iterating ``.flows``
+    or its ``values()/items()/keys()`` views, and bare enumeration calls
+    on those views. Per-flow work in these bodies reverts the columnar
+    FlowStore win — use masked array expressions over the store columns,
+    or put scalar loops in the designated ``*_reference`` oracle twins.
+    """
+
+    code = "PERF002"
+    name = "per-event-flow-iteration"
+    description = "per-flow iteration inside a per-event network function"
+    scope = ("repro.simulator",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in _EVENT_FUNCTIONS:
+                continue
+            seen: List[Tuple[int, int]] = []
+            for inner in ast.walk(node):
+                finding = self._inspect(ctx, node, inner)
+                if finding is not None and (finding.line, finding.col) not in seen:
+                    seen.append((finding.line, finding.col))
+                    yield finding
+
+    def _inspect(
+        self, ctx: ModuleContext, function: ast.FunctionDef, node: ast.AST
+    ) -> Optional[Finding]:
+        # Every values()/items()/keys() call on .flows is an enumeration,
+        # whether it feeds a for loop, a comprehension, or list(...). A
+        # bare ``.flows`` attribute is only flagged when it is directly
+        # iterated (it also appears in legitimate keyed lookups).
+        flagged = isinstance(node, ast.Call) and _is_flows_enumeration(node)
+        if not flagged:
+            iterators: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterators.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterators.extend(gen.iter for gen in node.generators)
+            flagged = any(_is_flows_attribute(it) for it in iterators)
+        if flagged:
+            return ctx.finding(
+                node,
+                self.code,
+                f"per-flow iteration in per-event function "
+                f"{function.name}(); use the FlowStore columns (scalar "
+                "loops belong in the *_reference oracle twins)",
+            )
         return None

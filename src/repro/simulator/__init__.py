@@ -21,6 +21,7 @@ explicitly where they matter:
 from repro.simulator.components import FlowLinkComponents
 from repro.simulator.engine import EventEngine
 from repro.simulator.flows import Flow, FlowComponent, FlowRecord
+from repro.simulator.flowstore import FlowStore
 from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
 from repro.simulator.maxmin import (
     link_loads_indexed,
@@ -39,6 +40,7 @@ __all__ = [
     "FlowComponent",
     "FlowLinkComponents",
     "FlowRecord",
+    "FlowStore",
     "LinkArrayMapping",
     "LinkIndex",
     "LinkState",

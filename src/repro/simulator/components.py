@@ -105,16 +105,19 @@ class FlowLinkComponents:
 
     # -- membership events ---------------------------------------------------
 
-    def attach(self, flow_id: int, link_ids: Any) -> None:
+    def attach(self, flow_id: int, link_ids: Any) -> int:
         """A flow landed on these links; its component becomes dirty.
 
         ``link_ids`` is the flow's sorted unique link-id array (every
         component of a striped flow included — striping conservatively
         merges the strands' components, which is an over-approximation the
-        exactness argument tolerates).
+        exactness argument tolerates). Returns the component root at
+        attach time (advisory: later unions may absorb it — the network
+        records it as ``Flow.component_id`` grouping telemetry).
         """
         root = self._attach_links(flow_id, link_ids.tolist())
         self._dirty.add(root)
+        return root
 
     def detach(self, flow_id: int, link_ids: Any) -> None:
         """A flow left these links; its component becomes dirty.
@@ -180,7 +183,9 @@ class FlowLinkComponents:
         self._dirty = set()
         self.departures = 0
         for flow in flows:
-            self._attach_links(flow.flow_id, flow.unique_link_ids.tolist())
+            flow.component_id = self._attach_links(
+                flow.flow_id, flow.unique_link_ids.tolist()
+            )
 
     # -- introspection (invariant checks, tests) -------------------------------
 

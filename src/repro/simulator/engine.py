@@ -3,6 +3,12 @@
 Cancellation is O(1) via handle invalidation: cancelled events stay in the
 heap and are skipped when popped. Ties break by schedule order, so runs are
 fully deterministic.
+
+The live-event count is maintained incrementally — push increments,
+cancel and fire decrement — so :attr:`EventEngine.pending_events` is O(1)
+instead of a heap scan (the network's completion rescheduling queries it
+per event at scale). :meth:`EventEngine.audit_pending_events` is the
+full-scan reference the tests assert the counter against.
 """
 
 from __future__ import annotations
@@ -17,16 +23,24 @@ from repro.common.errors import SimulationError
 class EventHandle:
     """A scheduled event; call :meth:`cancel` to invalidate it."""
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_engine", "_fired")
 
     def __init__(self, time: float, callback: Callable[[], None]) -> None:
         self.time = time
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        #: owning engine, for live-count maintenance on cancel.
+        self._engine: Optional["EventEngine"] = None
+        #: set when the event has been popped and executed — cancelling a
+        #: fired handle must not decrement the live count again.
+        self._fired = False
 
     def cancel(self) -> None:
         """Invalidate the event; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if not self._fired and self._engine is not None:
+                self._engine._live_events -= 1
         self.callback = None  # free references early
 
 
@@ -38,6 +52,7 @@ class EventEngine:
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._live_events = 0
         self._after_event_hooks: List[Callable[[], None]] = []
 
     # -- instrumentation ------------------------------------------------------
@@ -66,7 +81,9 @@ class EventEngine:
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time} before now={self.now}")
         handle = EventHandle(time, callback)
+        handle._engine = self
         heapq.heappush(self._heap, (time, next(self._seq), handle))
+        self._live_events += 1
         return handle
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -104,8 +121,8 @@ class EventEngine:
         self,
         interval: float,
         callback: Callable[[], None],
-        jitter: Callable[[], float] = None,
-        start_delay: float = None,
+        jitter: Optional[Callable[[], float]] = None,
+        start_delay: Optional[float] = None,
     ) -> None:
         """Run ``callback`` periodically; ``jitter()`` adds to each interval.
 
@@ -130,11 +147,14 @@ class EventEngine:
         while self._heap and self._heap[0][0] <= end_time:
             time, _, handle = heapq.heappop(self._heap)
             if handle.cancelled:
-                continue
+                continue  # cancel already decremented the live count
+            handle._fired = True
+            self._live_events -= 1
             self.now = time
             callback = handle.callback
             handle.callback = None
             self._events_processed += 1
+            assert callback is not None
             callback()
             if self._after_event_hooks:
                 for hook in tuple(self._after_event_hooks):
@@ -148,6 +168,11 @@ class EventEngine:
 
     @property
     def pending_events(self) -> int:
+        """Live (not cancelled, not fired) events, maintained in O(1)."""
+        return self._live_events
+
+    def audit_pending_events(self) -> int:
+        """O(n) full-heap recount of live events (test oracle for the counter)."""
         return sum(1 for _, _, h in self._heap if not h.cancelled)
 
     @property

@@ -9,14 +9,33 @@ weighted components.
 The paper's elephant definition (§1) is a TCP connection lasting at least
 10 seconds; flows are *promoted* to elephant status at that age by the
 network, which is when DARD's detector first sees them.
+
+Storage model (see DESIGN.md "Columnar flow state"): a flow owned by a
+:class:`~repro.simulator.network.Network` is **bound** to a row of the
+network's :class:`~repro.simulator.flowstore.FlowStore`, and its hot
+scalar attributes — remaining bytes, retransmitted bytes, reordering
+fraction, elephant flag, path-switch count, monitored path index, end
+time — are properties reading and writing the store columns, so the
+network's vectorized settle/ETA/completion passes and the scalar property
+accesses always see the same state. A flow constructed standalone (tests,
+ad-hoc tooling) is **unbound** and the same properties fall back to plain
+per-object shadow attributes; :meth:`Flow.unbind_store` snapshots the
+columns back into those shadows at completion, so records, listeners, and
+any held references stay valid after the row is revived for another flow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network owns both)
+    from repro.simulator.flowstore import FlowStore
 
 #: Default elephant promotion age (seconds), per the paper.
 ELEPHANT_AGE_S = 10.0
@@ -49,45 +68,69 @@ class FlowComponent:
         return self._links
 
 
-@dataclass
 class Flow:
-    """A live transfer. Mutable state is owned by the Network."""
+    """A live transfer. Mutable state is owned by the Network.
 
-    flow_id: int
-    src: str
-    dst: str
-    size_bytes: float
-    start_time: float
-    components: List[FlowComponent]
-    remaining_bytes: float = field(init=False)
-    #: current per-component rates (bits/s), parallel to ``components``.
-    component_rates: List[float] = field(default_factory=list)
-    is_elephant: bool = False
-    path_switches: int = 0
-    #: distinct single-path routes this flow has used, in order — lets the
-    #: stability analysis detect A->B->A oscillation, which the paper
-    #: claims never happens ("no flow switches its paths back and forth").
-    path_history: List[Tuple[str, ...]] = field(default_factory=list)
-    retransmitted_bytes: float = 0.0
-    #: reordering-induced retransmission fraction of current goodput
-    #: (recomputed whenever components change; 0 for single-path flows).
-    reorder_retx_fraction: float = 0.0
-    end_time: Optional[float] = None
-    #: per-component link-id arrays over the owning network's LinkIndex,
-    #: computed once at start/reroute and reused by every hot path
-    #: (set by the Network; ``None`` for flows never attached to one).
-    component_link_ids: Optional[List] = None
-    #: sorted unique link ids across all components (set by the Network).
-    unique_link_ids: Optional[object] = None
-    #: which monitored equal-cost path this flow currently rides, as an
-    #: index into its (src ToR, dst ToR) monitor's path list. Assigned by
-    #: the DARD daemon at elephant promotion and on every shift, so the
-    #: control plane's FV accounting compares integers instead of hashing
-    #: switch-path tuples. ``None`` for mice and non-DARD flows.
-    monitored_path_index: Optional[int] = None
+    Hot scalar attributes live in the bound :class:`FlowStore` row (see
+    the module docstring); cold state — endpoints, components, the
+    per-component rate list, path history, cached link-id arrays — stays
+    on the object.
+    """
 
-    def __post_init__(self) -> None:
-        self.remaining_bytes = float(self.size_bytes)
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        start_time: float,
+        components: Sequence[FlowComponent],
+        component_rates: Optional[List[float]] = None,
+        is_elephant: bool = False,
+        path_switches: int = 0,
+        path_history: Optional[List[Tuple[str, ...]]] = None,
+        retransmitted_bytes: float = 0.0,
+        reorder_retx_fraction: float = 0.0,
+        end_time: Optional[float] = None,
+        component_link_ids: Optional[List] = None,
+        unique_link_ids: Optional[object] = None,
+        monitored_path_index: Optional[int] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.start_time = start_time
+        self.components: List[FlowComponent] = list(components)
+        #: current per-component rates (bits/s), parallel to ``components``.
+        self.component_rates: List[float] = (
+            list(component_rates) if component_rates is not None else []
+        )
+        #: distinct single-path routes this flow has used, in order — lets
+        #: the stability analysis detect A->B->A oscillation, which the
+        #: paper claims never happens ("no flow switches its paths back
+        #: and forth").
+        self.path_history: List[Tuple[str, ...]] = (
+            list(path_history) if path_history is not None else []
+        )
+        #: per-component link-id arrays over the owning network's
+        #: LinkIndex, computed once at start/reroute and reused by every
+        #: hot path (set by the Network; ``None`` for flows never attached
+        #: to one).
+        self.component_link_ids: Optional[List] = component_link_ids
+        #: sorted unique link ids across all components (set by the Network).
+        self.unique_link_ids: Optional[object] = unique_link_ids
+        # Unbound shadows of the store-backed hot attributes.
+        self._store: Optional["FlowStore"] = None
+        self._row = -1
+        self._remaining_bytes = float(size_bytes)
+        self._retransmitted_bytes = retransmitted_bytes
+        self._reorder_retx_fraction = reorder_retx_fraction
+        self._is_elephant = is_elephant
+        self._path_switches = path_switches
+        self._monitored_path_index = monitored_path_index
+        self._end_time = end_time
+        self._component_id: Optional[int] = None
         if not self.components:
             raise SimulationError(f"flow {self.flow_id} has no components")
         if self.src != self.components[0].path[0] or self.dst != self.components[0].path[-1]:
@@ -96,10 +139,229 @@ class Flow:
                 f"component path {self.components[0].path}"
             )
 
+    def __repr__(self) -> str:
+        return (
+            f"Flow(flow_id={self.flow_id}, src={self.src!r}, dst={self.dst!r}, "
+            f"size_bytes={self.size_bytes}, remaining={self.remaining_bytes}, "
+            f"active={self.active})"
+        )
+
+    # -- store binding ----------------------------------------------------------
+
+    @property
+    def store_row(self) -> int:
+        """The bound store row index, or ``-1`` when unbound."""
+        return self._row
+
+    def bind_store(self, store: "FlowStore", row: int) -> None:
+        """Adopt an acquired store row: push the current state into it.
+
+        From here until :meth:`unbind_store`, the hot attributes read and
+        write the store columns.
+        """
+        store.flow_id[row] = self.flow_id
+        store.rate_bps[row] = sum(self.component_rates)
+        store.retx_fraction[row] = self._reorder_retx_fraction
+        store.goodput_factor[row] = 1.0 - self._reorder_retx_fraction
+        store.remaining_bytes[row] = self._remaining_bytes
+        store.start_time[row] = self.start_time
+        store.end_time[row] = math.nan if self._end_time is None else self._end_time
+        store.retransmitted_bytes[row] = self._retransmitted_bytes
+        store.elephant[row] = self._is_elephant
+        store.monitored_path[row] = (
+            -1 if self._monitored_path_index is None else self._monitored_path_index
+        )
+        store.component_id[row] = (
+            -1 if self._component_id is None else self._component_id
+        )
+        store.path_switches[row] = self._path_switches
+        self._store = store
+        self._row = row
+
+    def unbind_store(self) -> None:
+        """Snapshot the columns into local shadows and detach from the row.
+
+        Called at completion *before* the network releases the row, so a
+        finished flow held by a listener (or a test) keeps reading its
+        final state even after the row is revived for another flow.
+        """
+        store, row = self._store, self._row
+        if store is None:
+            return
+        self._remaining_bytes = float(store.remaining_bytes[row])
+        self._retransmitted_bytes = float(store.retransmitted_bytes[row])
+        self._reorder_retx_fraction = float(store.retx_fraction[row])
+        self._is_elephant = bool(store.elephant[row])
+        self._path_switches = int(store.path_switches[row])
+        monitored = int(store.monitored_path[row])
+        self._monitored_path_index = None if monitored < 0 else monitored
+        end = float(store.end_time[row])
+        self._end_time = None if math.isnan(end) else end
+        component = int(store.component_id[row])
+        self._component_id = None if component < 0 else component
+        self._store = None
+        self._row = -1
+
+    # -- store-backed hot attributes ---------------------------------------------
+
+    @property
+    def remaining_bytes(self) -> float:
+        store = self._store
+        if store is None:
+            return self._remaining_bytes
+        return float(store.remaining_bytes[self._row])
+
+    @remaining_bytes.setter
+    def remaining_bytes(self, value: float) -> None:
+        store = self._store
+        if store is None:
+            self._remaining_bytes = value
+        else:
+            store.remaining_bytes[self._row] = value
+
+    @property
+    def retransmitted_bytes(self) -> float:
+        store = self._store
+        if store is None:
+            return self._retransmitted_bytes
+        return float(store.retransmitted_bytes[self._row])
+
+    @retransmitted_bytes.setter
+    def retransmitted_bytes(self, value: float) -> None:
+        store = self._store
+        if store is None:
+            self._retransmitted_bytes = value
+        else:
+            store.retransmitted_bytes[self._row] = value
+
+    @property
+    def reorder_retx_fraction(self) -> float:
+        """Reordering-induced retransmission fraction of current goodput.
+
+        Recomputed whenever components change; 0 for single-path flows.
+        Assignment also refreshes the store's ``goodput_factor`` column
+        (``1 - fraction``), keeping the vectorized ETA inputs in lockstep.
+        """
+        store = self._store
+        if store is None:
+            return self._reorder_retx_fraction
+        return float(store.retx_fraction[self._row])
+
+    @reorder_retx_fraction.setter
+    def reorder_retx_fraction(self, value: float) -> None:
+        store = self._store
+        if store is None:
+            self._reorder_retx_fraction = value
+        else:
+            store.retx_fraction[self._row] = value
+            store.goodput_factor[self._row] = 1.0 - value
+
+    @property
+    def is_elephant(self) -> bool:
+        store = self._store
+        if store is None:
+            return self._is_elephant
+        return bool(store.elephant[self._row])
+
+    @is_elephant.setter
+    def is_elephant(self, value: bool) -> None:
+        store = self._store
+        if store is None:
+            self._is_elephant = value
+        else:
+            store.elephant[self._row] = value
+
+    @property
+    def path_switches(self) -> int:
+        store = self._store
+        if store is None:
+            return self._path_switches
+        return int(store.path_switches[self._row])
+
+    @path_switches.setter
+    def path_switches(self, value: int) -> None:
+        store = self._store
+        if store is None:
+            self._path_switches = value
+        else:
+            store.path_switches[self._row] = value
+
+    @property
+    def monitored_path_index(self) -> Optional[int]:
+        """Which monitored equal-cost path this flow currently rides.
+
+        An index into its (src ToR, dst ToR) monitor's path list, assigned
+        by the DARD daemon at elephant promotion and on every shift, so
+        the control plane's FV accounting compares integers instead of
+        hashing switch-path tuples. ``None`` for mice and non-DARD flows.
+        """
+        store = self._store
+        if store is None:
+            return self._monitored_path_index
+        index = int(store.monitored_path[self._row])
+        return None if index < 0 else index
+
+    @monitored_path_index.setter
+    def monitored_path_index(self, value: Optional[int]) -> None:
+        store = self._store
+        if store is None:
+            self._monitored_path_index = value
+        else:
+            store.monitored_path[self._row] = -1 if value is None else value
+
+    @property
+    def end_time(self) -> Optional[float]:
+        store = self._store
+        if store is None:
+            return self._end_time
+        end = float(store.end_time[self._row])
+        return None if math.isnan(end) else end
+
+    @end_time.setter
+    def end_time(self, value: Optional[float]) -> None:
+        store = self._store
+        if store is None:
+            self._end_time = value
+        else:
+            store.end_time[self._row] = math.nan if value is None else value
+
+    @property
+    def component_id(self) -> Optional[int]:
+        """Advisory flow-link component root recorded at attach/rebuild.
+
+        Written by :class:`~repro.simulator.components.FlowLinkComponents`
+        bookkeeping; later unions may retire the recorded root, so treat
+        it as a hint (grouping telemetry), never as an exact partition key.
+        ``None`` for flows outside an incremental-realloc network.
+        """
+        store = self._store
+        if store is None:
+            return self._component_id
+        root = int(store.component_id[self._row])
+        return None if root < 0 else root
+
+    @component_id.setter
+    def component_id(self, value: Optional[int]) -> None:
+        store = self._store
+        if store is None:
+            self._component_id = value
+        else:
+            store.component_id[self._row] = -1 if value is None else value
+
+    # -- derived views ------------------------------------------------------------
+
     @property
     def rate_bps(self) -> float:
-        """Aggregate allocated rate across components."""
-        return sum(self.component_rates)
+        """Aggregate allocated rate across components.
+
+        Bound flows read the store's rate column, which the network's
+        refill scatter keeps bit-equal to ``sum(component_rates)`` (the
+        unbound fallback); ``check_invariants`` audits that equality.
+        """
+        store = self._store
+        if store is None:
+            return sum(self.component_rates)
+        return float(store.rate_bps[self._row])
 
     @property
     def goodput_bps(self) -> float:
@@ -113,7 +375,10 @@ class Flow:
 
     @property
     def active(self) -> bool:
-        return self.end_time is None
+        store = self._store
+        if store is None:
+            return self._end_time is None
+        return bool(np.isnan(store.end_time[self._row]))
 
     def age(self, now: float) -> float:
         """Seconds since the flow started."""

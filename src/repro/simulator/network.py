@@ -43,6 +43,21 @@ evaluates every monitored path's bottleneck BoNF in one pass over the
 dense capacity/elephant/failure arrays from precomputed per-path link-id
 CSR rows (see :meth:`index_switch_path`), replacing per-link
 :meth:`link_state` loops in DARD's :class:`~repro.core.monitor.PathMonitor`.
+
+Columnar flow state (see DESIGN.md "Columnar flow state"): hot per-flow
+scalars live in a :class:`~repro.simulator.flowstore.FlowStore` — SoA
+numpy columns bound to each flow at :meth:`start_flow` and released at
+completion — so the three remaining per-event loops are masked array
+expressions over the active span: ``_settle`` drains remaining bytes for
+every live flow at once, ``_schedule_next_completion`` takes a masked min
+over ``remaining * 8 / goodput``, and ``_on_completion_event`` finds
+finishers with one boolean mask. The refills scatter aggregate rates
+straight into the store's rate column (``np.add.at`` accumulates repeated
+owner rows in order, bit-equal to the left-to-right
+``sum(component_rates)``). Construct with ``settle_mode="reference"`` to
+run the original scalar loops instead — the differential oracle
+(:func:`~repro.validation.oracles.check_settle_equivalence`) proves both
+modes produce bit-identical records on golden traces and fuzzer dual-runs.
 """
 
 from __future__ import annotations
@@ -65,6 +80,7 @@ from repro.simulator.flows import (
     FlowComponent,
     FlowRecord,
 )
+from repro.simulator.flowstore import FlowStore
 from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
 from repro.simulator.maxmin import (
     LinkId,
@@ -123,6 +139,7 @@ class Network:
         path_switch_retx_bytes: float = PATH_SWITCH_RETX_BYTES,
         model_reordering: bool = True,
         incremental_realloc: bool = True,
+        settle_mode: str = "store",
     ) -> None:
         self.topology = topology
         self.engine = engine if engine is not None else EventEngine()
@@ -130,6 +147,12 @@ class Network:
         self.path_switch_retx_bytes = path_switch_retx_bytes
         self.model_reordering = model_reordering
         self.incremental_realloc = bool(incremental_realloc)
+        if settle_mode not in ("store", "reference"):
+            raise SimulationError(
+                f"settle_mode must be 'store' or 'reference', got {settle_mode!r}"
+            )
+        self.settle_mode = settle_mode
+        self._settle_vectorized = settle_mode == "store"
 
         #: the per-network intern table; all per-link arrays align to it.
         self.link_index = LinkIndex.from_topology(topology)
@@ -176,6 +199,9 @@ class Network:
         self._link_total = LinkArrayMapping(self.link_index, self._total_array)
 
         self.flows: Dict[int, Flow] = {}
+        #: columnar hot flow state; every flow in ``flows`` is bound to a
+        #: store row from start to completion (see flowstore module docs).
+        self.flow_store = FlowStore()
         self.records: List[FlowRecord] = []
         self._next_flow_id = 0
         self._last_settle = 0.0
@@ -228,6 +254,10 @@ class Network:
         self._stat_flows_preserved = 0
         self._stat_events_rescheduled = 0
         self._stat_events_preserved = 0
+        # Columnar settle/ETA telemetry (see perf_stats).
+        self._stat_settle_time_s = 0.0
+        self._stat_eta_time_s = 0.0
+        self._stat_settle_batches = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -257,6 +287,7 @@ class Network:
             components=list(components),
         )
         self._next_flow_id += 1
+        flow.bind_store(self.flow_store, self.flow_store.acquire(flow.flow_id))
         self._index_components(flow)
         flow.component_rates = [0.0] * len(flow.components)
         if len(flow.components) == 1:
@@ -264,7 +295,9 @@ class Network:
         self.flows[flow.flow_id] = flow
         self._adjust_link_counts(flow, +1)
         if self._components is not None:
-            self._components.attach(flow.flow_id, flow.unique_link_ids)
+            flow.component_id = self._components.attach(
+                flow.flow_id, flow.unique_link_ids
+            )
         self._stat_flows_started += 1
         self.engine.schedule_in(
             self.elephant_age_s, lambda fid=flow.flow_id: self._promote_elephant(fid)
@@ -300,9 +333,15 @@ class Network:
         flow.components = list(components)
         self._index_components(flow)
         flow.component_rates = [0.0] * len(flow.components)
+        # Keep the store's rate column in lockstep with the zeroed list —
+        # the scalar reference and the vectorized path must agree between
+        # the reroute and the coalesced refill that re-rates the flow.
+        self.flow_store.rate_bps[flow.store_row] = 0.0
         self._adjust_link_counts(flow, +1)
         if self._components is not None:
-            self._components.attach(flow.flow_id, flow.unique_link_ids)
+            flow.component_id = self._components.attach(
+                flow.flow_id, flow.unique_link_ids
+            )
         self._stat_reroutes += 1
         if count_switch:
             flow.path_switches += 1
@@ -580,6 +619,13 @@ class Network:
           events are still cancel+re-pushed so event ordering stays
           deterministic; see ``EventEngine.reschedule``).
 
+        Columnar flow-state keys: ``settle_time_s`` / ``eta_time_s`` —
+        wall time inside the settle and completion-ETA passes (the
+        ``bench_perf_flowstore`` gate segment); ``settle_batches`` —
+        settle passes that actually advanced time over live flows; plus
+        the ``store_*`` keys from :meth:`FlowStore.stats` (active span,
+        capacity, live rows, acquires/revivals/grows/compactions).
+
         Registered ``controlplane_stats_providers`` (the DARD scheduler's
         ``cp_*`` keys — monitor/registry population, batched query rounds,
         vector-decision vs scalar-fallback counts, control-plane wall
@@ -608,7 +654,11 @@ class Network:
             "flows_preserved": self._stat_flows_preserved,
             "events_rescheduled": self._stat_events_rescheduled,
             "events_preserved": self._stat_events_preserved,
+            "settle_time_s": self._stat_settle_time_s,
+            "eta_time_s": self._stat_eta_time_s,
+            "settle_batches": self._stat_settle_batches,
         }
+        stats.update(self.flow_store.stats())
         for provider in self.controlplane_stats_providers:
             stats.update(provider())
         return stats
@@ -744,6 +794,43 @@ class Network:
                     f"{flow.size_bytes + flow.retransmitted_bytes}",
                     flow_id=flow.flow_id,
                 )
+        store = self.flow_store
+        live_rows = int(np.count_nonzero(store.live[: store.size]))
+        if store.live_count != len(self.flows) or live_rows != len(self.flows):
+            raise InvariantViolation(
+                "flow-store",
+                f"store live_count {store.live_count} / live rows {live_rows} "
+                f"!= {len(self.flows)} live flows",
+            )
+        for flow in self.flows.values():
+            row = flow.store_row
+            if row < 0 or not bool(store.live[row]) or int(store.flow_id[row]) != flow.flow_id:
+                raise InvariantViolation(
+                    "flow-store",
+                    f"flow bound to row {row} whose store entry is "
+                    f"live={bool(store.live[row]) if row >= 0 else None} "
+                    f"flow_id={int(store.flow_id[row]) if row >= 0 else None}",
+                    flow_id=flow.flow_id,
+                )
+            # The refill scatter contract: the rate column is *bit-equal*
+            # to the left-to-right component-rate sum, always — both are
+            # rewritten together at every membership change and refill.
+            want_rate = sum(flow.component_rates)
+            if float(store.rate_bps[row]) != want_rate:
+                raise InvariantViolation(
+                    "flow-store-rate",
+                    f"rate column {float(store.rate_bps[row])!r} != "
+                    f"sum(component_rates) {want_rate!r}",
+                    flow_id=flow.flow_id,
+                )
+            frac = float(store.retx_fraction[row])
+            if float(store.goodput_factor[row]) != 1.0 - frac:
+                raise InvariantViolation(
+                    "flow-store-goodput",
+                    f"goodput factor {float(store.goodput_factor[row])!r} != "
+                    f"1 - retx fraction {1.0 - frac!r}",
+                    flow_id=flow.flow_id,
+                )
         for hook in tuple(self.invariant_hooks):
             hook(self)
 
@@ -796,16 +883,51 @@ class Network:
         dt = self.now - self._last_settle
         if dt < 0:
             raise SimulationError("time went backwards")
-        if dt > 0:
-            for flow in self.flows.values():
-                delivered_bits = flow.rate_bps * dt
-                if delivered_bits <= 0:
-                    continue
-                delivered_bytes = delivered_bits / 8.0
-                wasted = delivered_bytes * flow.reorder_retx_fraction
-                flow.remaining_bytes = max(0.0, flow.remaining_bytes - (delivered_bytes - wasted))
-                flow.retransmitted_bytes += wasted
+        if dt > 0 and self.flows:
+            # perf_counter feeds perf_stats() telemetry only, never sim state.
+            started = perf_counter()  # dardlint: disable=DET002
+            if self._settle_vectorized:
+                self._settle_store(dt)
+            else:
+                self._settle_reference(dt)
+            self._stat_settle_time_s += perf_counter() - started  # dardlint: disable=DET002
+            self._stat_settle_batches += 1
         self._last_settle = self.now
+
+    def _settle_store(self, dt: float) -> None:
+        """Vectorized settle over the flow-store columns.
+
+        Bit-identical to :meth:`_settle_reference`: the mask replicates the
+        scalar ``delivered_bits <= 0`` skip, the per-row op sequence is the
+        same float64 expression tree, and the rate column is kept bit-equal
+        to ``sum(component_rates)`` by the refill scatter.
+        """
+        store = self.flow_store
+        n = store.size
+        bits = store.rate_bps[:n] * dt
+        rows = np.flatnonzero(store.live[:n] & (bits > 0.0))
+        if rows.size == 0:
+            return
+        delivered_bytes = bits[rows] / 8.0
+        wasted = delivered_bytes * store.retx_fraction[rows]
+        remaining = store.remaining_bytes
+        remaining[rows] = np.maximum(0.0, remaining[rows] - (delivered_bytes - wasted))
+        store.retransmitted_bytes[rows] += wasted
+
+    def _settle_reference(self, dt: float) -> None:
+        """Scalar settle — the differential oracle for :meth:`_settle_store`.
+
+        Sums ``component_rates`` directly (rather than reading the store's
+        rate column) so the dual-run also audits the refill rate scatter.
+        """
+        for flow in self.flows.values():
+            delivered_bits = sum(flow.component_rates) * dt
+            if delivered_bits <= 0:
+                continue
+            delivered_bytes = delivered_bits / 8.0
+            wasted = delivered_bytes * flow.reorder_retx_fraction
+            flow.remaining_bytes = max(0.0, flow.remaining_bytes - (delivered_bytes - wasted))
+            flow.retransmitted_bytes += wasted
 
     def _request_realloc(self) -> None:
         self._stat_realloc_requests += 1
@@ -837,6 +959,22 @@ class Network:
                 weights.append(flow.components[idx].weight)
                 owners.append((flow, idx))
         return component_ids, weights, owners
+
+    def _scatter_store_rates(
+        self, owners: Sequence[Tuple[Flow, int]], rates: np.ndarray
+    ) -> None:
+        """Accumulate per-component rates into the store's rate column.
+
+        ``np.add.at`` is unbuffered: repeated owner rows accumulate in
+        index order, which is component order, so the column ends up
+        bit-equal to the left-to-right ``sum(component_rates)`` (demands
+        skipped for failed links contribute literal ``+0.0``, which never
+        changes a non-negative partial sum).
+        """
+        owner_rows = np.fromiter(
+            (flow.store_row for flow, _ in owners), dtype=np.intp, count=len(owners)
+        )
+        np.add.at(self.flow_store.rate_bps, owner_rows, rates)
 
     @staticmethod
     def _build_csr(component_ids: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
@@ -887,8 +1025,10 @@ class Network:
         component_ids, weights, owners = self._assemble_demands(flows)
         num_links = len(self.link_index)
         n = len(component_ids)
+        store = self.flow_store
         for flow in flows:
             flow.component_rates = [0.0] * len(flow.components)
+        store.rate_bps[: store.size] = 0.0  # dead rows are already zero
         if n:
             indices, indptr = self._build_csr(component_ids)
             weight_arr = np.asarray(weights, dtype=float)
@@ -897,6 +1037,7 @@ class Network:
             )
             for (flow, idx), rate in zip(owners, rates):
                 flow.component_rates[idx] = float(rate)
+            self._scatter_store_rates(owners, rates)
             load = link_loads_indexed(indices, indptr, rates, num_links)
             self._load_array = load
             np.divide(load, self._cap_array, out=self._util_array)
@@ -908,16 +1049,22 @@ class Network:
         self._stat_realloc_demands += n
         self._stat_fill_iterations += iterations
         if self.model_reordering:
-            for flow in flows:
-                if len(flow.components) > 1:
-                    flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
-                        flow.component_rates,
-                        flow.component_link_ids,
-                        self._delay_array,
-                        self._util_array,
-                    )
-                else:
-                    flow.reorder_retx_fraction = 0.0
+            if any(len(flow.components) > 1 for flow in flows):
+                for flow in flows:
+                    if len(flow.components) > 1:
+                        flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
+                            flow.component_rates,
+                            flow.component_link_ids,
+                            self._delay_array,
+                            self._util_array,
+                        )
+                    else:
+                        flow.reorder_retx_fraction = 0.0
+            else:
+                # No striped flows (every scheduler but TeXCP): the reset is
+                # two column fills. Dead rows already hold the fill values.
+                store.retx_fraction[: store.size] = 0.0
+                store.goodput_factor[: store.size] = 1.0
         self._stat_realloc_full += 1
         comps = self._components
         if comps is not None:
@@ -943,8 +1090,17 @@ class Network:
         dirty_flows = [flows[flow_id] for flow_id in dirty_flow_ids]
         component_ids, weights, owners = self._assemble_demands(dirty_flows)
         n = len(component_ids)
+        store = self.flow_store
+        dirty_rows: Optional[np.ndarray] = None
         for flow in dirty_flows:
             flow.component_rates = [0.0] * len(flow.components)
+        if dirty_flows:
+            dirty_rows = np.fromiter(
+                (flow.store_row for flow in dirty_flows),
+                dtype=np.intp,
+                count=len(dirty_flows),
+            )
+            store.rate_bps[dirty_rows] = 0.0
         retired = self._retired_link_ids
         touched_links: Optional[np.ndarray] = None
         if n:
@@ -957,6 +1113,7 @@ class Network:
             )
             for (flow, idx), rate in zip(owners, rates):
                 flow.component_rates[idx] = float(rate)
+            self._scatter_store_rates(owners, rates)
         else:
             iterations = 0
         # Splice: zero every link the dirty demands (or departed flows)
@@ -978,16 +1135,20 @@ class Network:
         self._stat_realloc_demands += n
         self._stat_fill_iterations += iterations
         if self.model_reordering:
-            for flow in dirty_flows:
-                if len(flow.components) > 1:
-                    flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
-                        flow.component_rates,
-                        flow.component_link_ids,
-                        self._delay_array,
-                        self._util_array,
-                    )
-                else:
-                    flow.reorder_retx_fraction = 0.0
+            if any(len(flow.components) > 1 for flow in dirty_flows):
+                for flow in dirty_flows:
+                    if len(flow.components) > 1:
+                        flow.reorder_retx_fraction = reordering_retx_fraction_indexed(
+                            flow.component_rates,
+                            flow.component_link_ids,
+                            self._delay_array,
+                            self._util_array,
+                        )
+                    else:
+                        flow.reorder_retx_fraction = 0.0
+            elif dirty_rows is not None:
+                store.retx_fraction[dirty_rows] = 0.0
+                store.goodput_factor[dirty_rows] = 1.0
         live = comps.live_components
         self._stat_realloc_incremental += 1
         self._stat_components_touched += touched
@@ -1007,13 +1168,12 @@ class Network:
     def _schedule_next_completion(self) -> None:
         old_handle = self._completion_handle
         self._completion_handle = None
-        soonest = float("inf")
-        for flow in self.flows.values():
-            goodput_bps = flow.goodput_bps
-            if goodput_bps <= 0:
-                continue
-            eta = (flow.remaining_bytes * 8.0) / goodput_bps
-            soonest = min(soonest, eta)
+        started = perf_counter()  # dardlint: disable=DET002
+        if self._settle_vectorized:
+            soonest = self._next_completion_eta_store()
+        else:
+            soonest = self._next_completion_eta_reference()
+        self._stat_eta_time_s += perf_counter() - started  # dardlint: disable=DET002
         if soonest < float("inf"):
             self._completion_handle, preserved = self.engine.reschedule(
                 old_handle, max(soonest, 0.0), self._on_completion_event
@@ -1025,10 +1185,62 @@ class Network:
         elif old_handle is not None:
             old_handle.cancel()
 
+    def _next_completion_eta_store(self) -> float:
+        """Masked min over ``remaining * 8 / goodput`` across the store.
+
+        ``goodput_factor`` is maintained as exactly ``1.0 - retx_fraction``
+        at every fraction write, so ``rate * factor`` is bit-identical to
+        the scalar ``rate_bps * (1.0 - reorder_retx_fraction)`` and the
+        array min equals the sequential ``min()`` reduction.
+        """
+        store = self.flow_store
+        n = store.size
+        goodput = store.rate_bps[:n] * store.goodput_factor[:n]
+        rows = np.flatnonzero(store.live[:n] & (goodput > 0.0))
+        if rows.size == 0:
+            return float("inf")
+        etas = (store.remaining_bytes[rows] * 8.0) / goodput[rows]
+        return float(etas.min())
+
+    def _next_completion_eta_reference(self) -> float:
+        """Scalar ETA scan — oracle for :meth:`_next_completion_eta_store`."""
+        soonest = float("inf")
+        for flow in self.flows.values():
+            goodput_bps = sum(flow.component_rates) * (1.0 - flow.reorder_retx_fraction)
+            if goodput_bps <= 0:
+                continue
+            eta = (flow.remaining_bytes * 8.0) / goodput_bps
+            soonest = min(soonest, eta)
+        return soonest
+
+    def _find_finishers_store(self) -> List[Flow]:
+        """Boolean-mask finisher scan over the store's remaining column.
+
+        Finishers come back sorted by flow id — identical to the scalar
+        dict scan, since flow ids are assigned monotonically and flows are
+        never reinserted, so dict order *is* ascending flow-id order.
+        """
+        store = self.flow_store
+        n = store.size
+        rows = np.flatnonzero(
+            store.live[:n] & (store.remaining_bytes[:n] <= _BYTES_EPSILON)
+        )
+        if rows.size == 0:
+            return []
+        flows = self.flows
+        return [flows[int(fid)] for fid in np.sort(store.flow_id[rows])]
+
+    def _find_finishers_reference(self) -> List[Flow]:
+        """Scalar finisher scan — oracle for :meth:`_find_finishers_store`."""
+        return [f for f in self.flows.values() if f.remaining_bytes <= _BYTES_EPSILON]
+
     def _on_completion_event(self) -> None:
         self._completion_handle = None
         self._settle()
-        finished = [f for f in self.flows.values() if f.remaining_bytes <= _BYTES_EPSILON]
+        if self._settle_vectorized:
+            finished = self._find_finishers_store()
+        else:
+            finished = self._find_finishers_reference()
         if not finished:
             # Rates changed under us; just reschedule.
             self._schedule_next_completion()
@@ -1059,4 +1271,10 @@ class Network:
             )
             for listener in self.flow_completed_listeners:
                 listener(flow)
+            # Snapshot the columns into the view object before the row is
+            # returned to the pool: records, listeners, and any held
+            # references keep reading the final state after row revival.
+            row = flow.store_row
+            flow.unbind_store()
+            self.flow_store.release(row)
         self._request_realloc()

@@ -11,9 +11,11 @@ Four layers, composable and individually importable:
   reference allocator, live network vs reference, the incremental
   component-scoped reallocator vs a bit-exact full refill, the batched
   vectorized DARD control plane vs the scalar per-monitor reference
-  (same shift journal, bit-identical FCTs), and the fluid simulator vs
-  the packet-level TCP micro-simulator inside the documented 0.81-1.02x
-  FCT agreement band;
+  (same shift journal, bit-identical FCTs), the columnar FlowStore
+  settle/ETA/completion passes vs the scalar per-flow reference loops
+  (same bit-exact contract), and the fluid simulator vs the packet-level
+  TCP micro-simulator inside the documented 0.81-1.02x FCT agreement
+  band;
 * :mod:`repro.validation.fuzz` — seeded randomized scenario fuzzing with
   shrink-on-failure minimal reproductions;
 * :mod:`repro.validation.snapshot` — golden-trace regression snapshots
@@ -41,9 +43,12 @@ from repro.validation.oracles import (
     check_controlplane_equivalence,
     check_incremental_against_full,
     check_network_against_reference,
+    check_settle_equivalence,
     compare_controlplane_results,
+    compare_settle_results,
     controlplane_equivalence_suite,
     run_fluid_vs_packet,
+    settle_equivalence_suite,
 )
 from repro.validation.fuzz import (
     FuzzFailure,
@@ -60,6 +65,7 @@ from repro.validation.snapshot import (
     collect_goldens,
     compare_goldens,
     compare_goldens_incremental,
+    compare_goldens_settle_reference,
     store_goldens,
 )
 
@@ -81,18 +87,22 @@ __all__ = [
     "check_maxmin_certificate",
     "check_network_against_reference",
     "check_network_allocation",
+    "check_settle_equivalence",
     "check_static_forwarding",
     "check_theorem1_bound_live",
     "collect_goldens",
     "compare_controlplane_results",
     "compare_goldens",
     "compare_goldens_incremental",
+    "compare_goldens_settle_reference",
+    "compare_settle_results",
     "controlplane_equivalence_suite",
     "inject_capacity_bug",
     "random_scenario",
     "run_case",
     "run_fluid_vs_packet",
     "run_fuzz",
+    "settle_equivalence_suite",
     "shrink_config",
     "store_goldens",
 ]

@@ -137,6 +137,11 @@ def run_case(
     (``vectorized=False``) and the two results must agree on the shift
     journal, every flow record, and control-byte accounting — a
     divergence is a finding just like an invariant violation.
+
+    Every case (all schedulers) also runs the settle differential
+    oracle: the scenario is re-run with the scalar per-flow settle loops
+    (``settle_mode="reference"``) and compared record for record against
+    the columnar FlowStore run under the same bit-exact contract.
     """
     from repro.addressing import HierarchicalAddressing, PathCodec
     from repro.switches import SwitchFabric
@@ -145,6 +150,7 @@ def run_case(
         check_incremental_against_full,
         check_network_against_reference,
         compare_controlplane_results,
+        compare_settle_results,
     )
 
     checker_box: List[InvariantChecker] = []
@@ -179,6 +185,17 @@ def run_case(
             instrument=corrupt,
         )
         compare_controlplane_results(result, scalar)
+    if config.network_params.get("settle_mode", "store") == "store":
+        # Same world for the reference run — including any injected bug —
+        # so this oracle only ever fires on settle-path divergence.
+        reference = run_scenario(
+            dataclasses.replace(
+                config,
+                network_params={**config.network_params, "settle_mode": "reference"},
+            ),
+            instrument=corrupt,
+        )
+        compare_settle_results(result, reference)
     return result
 
 

@@ -1,6 +1,6 @@
 """Differential oracles: two independent implementations must agree.
 
-Four oracles:
+Five oracles:
 
 * **allocator equivalence** — the vectorized integer-indexed fast path
   (``maxmin_allocate_indexed``, via its string-keyed wrapper) against the
@@ -16,6 +16,11 @@ Four oracles:
   preserved scalar per-monitor reference: the *same shift sequence* and
   *bit-identical FCTs* on the same scenario (see DESIGN.md
   "Control-plane batching");
+* **settle equivalence** — the columnar FlowStore-backed settle / ETA /
+  completion passes (``settle_mode="store"``, the default) against the
+  preserved scalar per-flow reference loops: *bit-identical records*,
+  shift journals, and control accounting on the same scenario (see
+  DESIGN.md "Columnar flow state");
 * **fluid vs packet** — the fluid simulator's FCTs against the
   packet-level TCP micro-simulator on the documented validation
   scenarios, enforcing the 0.81-1.02x agreement band from
@@ -308,6 +313,112 @@ def controlplane_equivalence_suite() -> List[dict]:
     rows = []
     for config in scenarios:
         summary = check_controlplane_equivalence(config)
+        summary["pattern"] = config.pattern
+        rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Settle equivalence (columnar FlowStore vs scalar reference loops)
+# ---------------------------------------------------------------------------
+
+def compare_settle_results(store, reference) -> None:
+    """Raise unless a store-mode and a reference-mode run are identical.
+
+    The columnar settle/ETA/completion passes are a pure execution-strategy
+    change, so the contract is exact: every completed flow's record (FCT
+    endpoints, path switches, retransmissions) must match bit for bit, any
+    DARD shift journal tuple for tuple, and control accounting exactly.
+    """
+    if store.dard_shift_log != reference.dard_shift_log:
+        ours, theirs = store.dard_shift_log, reference.dard_shift_log
+        for k, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                raise OracleViolation(
+                    "settle-equivalence",
+                    f"shift {k} diverges: store {a!r} != reference {b!r}",
+                    subject=k,
+                )
+        raise OracleViolation(
+            "settle-equivalence",
+            f"shift journal length {len(ours)} (store) != "
+            f"{len(theirs)} (reference)",
+        )
+    if len(store.records) != len(reference.records):
+        raise OracleViolation(
+            "settle-equivalence",
+            f"{len(store.records)} completed flows (store) != "
+            f"{len(reference.records)} (reference)",
+        )
+    for ours, theirs in zip(store.records, reference.records):
+        if ours != theirs:
+            raise OracleViolation(
+                "settle-equivalence",
+                f"flow {ours.flow_id}: store record {ours!r} != "
+                f"reference {theirs!r} (bit-exact contract)",
+                subject=ours.flow_id,
+            )
+    if store.control_bytes != reference.control_bytes:
+        raise OracleViolation(
+            "settle-equivalence",
+            f"control bytes {store.control_bytes!r} (store) != "
+            f"{reference.control_bytes!r} (reference)",
+        )
+
+
+def _with_settle_mode(config, mode: str):
+    import dataclasses
+
+    params = dict(config.network_params)
+    params["settle_mode"] = mode
+    return dataclasses.replace(config, network_params=params)
+
+
+def check_settle_equivalence(config) -> dict:
+    """Run one scenario in both settle modes; raise on any divergence.
+
+    Works for every scheduler (the settle path is scheduler-agnostic).
+    Returns a small summary dict (flows, shifts) for reporting.
+    """
+    from repro.experiments.runner import run_scenario
+
+    store = run_scenario(_with_settle_mode(config, "store"))
+    reference = run_scenario(_with_settle_mode(config, "reference"))
+    compare_settle_results(store, reference)
+    return {
+        "flows": len(store.records),
+        "shifts": store.dard_shifts,
+    }
+
+
+def settle_equivalence_suite() -> List[dict]:
+    """The store-vs-reference oracle over golden ECMP and DARD scenarios
+    plus a failure-rich stride case; returns one summary row per scenario."""
+    from repro.experiments.runner import ScenarioConfig
+    from repro.validation.snapshot import GOLDEN_SCENARIOS
+
+    scenarios = [
+        GOLDEN_SCENARIOS["fattree_ecmp_stride"],
+        GOLDEN_SCENARIOS["fattree_dard_random"],
+        ScenarioConfig(
+            topology="fattree",
+            topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+            pattern="stride",
+            scheduler="dard",
+            arrival_rate_per_host=0.1,
+            duration_s=25.0,
+            flow_size_bytes=48 * MB,
+            seed=7,
+            link_events=(
+                ("fail", 12.0, "agg_0_0", "core_0_0"),
+                ("restore", 18.0, "agg_0_0", "core_0_0"),
+            ),
+        ),
+    ]
+    rows = []
+    for config in scenarios:
+        summary = check_settle_equivalence(config)
+        summary["scheduler"] = config.scheduler
         summary["pattern"] = config.pattern
         rows.append(summary)
     return rows

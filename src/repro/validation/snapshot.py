@@ -262,3 +262,33 @@ def compare_goldens_incremental(
             current.pop(exempt, None)
         _diff(f"scenarios[incremental].{name}.", want, current, mismatches)
     return mismatches
+
+
+def compare_goldens_settle_reference(
+    path: PathLike = DEFAULT_GOLDEN_PATH,
+    progress: ProgressFn = None,
+) -> List[str]:
+    """Re-run the golden scenarios in scalar settle mode against the file.
+
+    The columnar FlowStore's bit-exactness claim, enforced end-to-end:
+    the goldens are captured in the default ``settle_mode="store"``, and
+    the preserved scalar reference loops must reproduce every scenario
+    digest exactly — no exempt fields, since the settle path affects no
+    counters differently between modes.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [f"golden file {path} does not exist; run with --golden update to create it"]
+    with open(path) as handle:
+        golden = json.load(handle)
+    mismatches: List[str] = []
+    for name, config in GOLDEN_SCENARIOS.items():
+        if progress is not None:
+            progress(f"golden[settle-reference]: capturing {name} ...")
+        flipped = dataclasses.replace(
+            config, network_params={**config.network_params, "settle_mode": "reference"}
+        )
+        current = capture_scenario(flipped)
+        _diff(f"scenarios[settle-reference].{name}.", golden["scenarios"][name],
+              current, mismatches)
+    return mismatches

@@ -1,0 +1,10 @@
+"""PERF002 bad fixture: per-flow iteration inside a per-event function."""
+
+
+class FakeNetwork:
+    """Minimal shape for the rule: only the method name matters."""
+
+    def _settle(self, dt):
+        """Walks every flow object per event — the PR 6 regression."""
+        for flow in self.flows.values():
+            flow.remaining_bytes -= flow.rate_bps * dt / 8.0

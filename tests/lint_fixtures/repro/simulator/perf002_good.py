@@ -1,0 +1,15 @@
+"""PERF002 good fixture: columnar settle, scalar loop in the oracle twin."""
+
+
+class FakeNetwork:
+    """Minimal shape for the rule: only the method names matter."""
+
+    def _settle(self, dt):
+        """One masked array op over the store columns."""
+        rows = self.store.live_rows()
+        self.store.remaining_bytes[rows] -= self.store.rate_bps[rows] * dt / 8.0
+
+    def _settle_reference(self, dt):
+        """The designated scalar oracle may iterate flows by design."""
+        for flow in self.flows.values():
+            flow.remaining_bytes -= flow.rate_bps * dt / 8.0

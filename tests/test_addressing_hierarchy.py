@@ -110,6 +110,30 @@ class TestAutoWidening:
         assert fattree4_addressing.core_bits == 6
         assert fattree4_addressing.host_bits == 32 - 8 - 18
 
+    def test_default_base_stays_slash_8_when_it_fits(self, fattree4_addressing):
+        # Topologies that fit under the paper's /8 keep their exact
+        # historical addresses — the base only shrinks when it must.
+        assert str(fattree4_addressing.base) == "10.0.0.0/8"
+
+    def test_default_base_auto_shortens_when_hierarchy_overflows(self):
+        """p=64 fat-trees need 10+6+6 level bits + 5 host bits = 27 > 24;
+        with no explicit base the allocator shortens the default /8 to the
+        longest base that fits, rather than failing."""
+        topo = FatTree(p=4)
+        # Force the overflow cheaply: 10-bit levels cost 30 bits, leaving
+        # fewer than the 1 host bit p=4's two-host ToRs need under /8.
+        addressing = HierarchicalAddressing(topo, bits_per_level=10)
+        assert addressing.base.length < 8
+        assert addressing.host_bits >= 1
+        for host in topo.hosts():
+            assert addressing.num_addresses_per_host(host) == 4
+
+    def test_explicit_base_is_never_adjusted(self):
+        with pytest.raises(AddressingError):
+            HierarchicalAddressing(
+                FatTree(p=4), base=Prefix.parse("10.0.0.0/8"), bits_per_level=10
+            )
+
 
 class TestIdMapper:
     def test_round_trip(self, fattree4):

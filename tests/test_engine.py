@@ -73,6 +73,65 @@ class TestCancellation:
         drop.cancel()
         assert engine.pending_events == 1
 
+    def test_double_cancel_decrements_once(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        drop = engine.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert engine.pending_events == 1
+        assert engine.pending_events == engine.audit_pending_events()
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        engine = EventEngine()
+        fired = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(5.0, lambda: None)
+        engine.run_until(2.0)
+        fired.cancel()  # stale handle: event already fired and was counted
+        assert engine.pending_events == 1
+        assert engine.pending_events == engine.audit_pending_events()
+
+
+class TestPendingEventsCounter:
+    """The O(1) live-event counter must always agree with a heap scan."""
+
+    def _check(self, engine):
+        assert engine.pending_events == engine.audit_pending_events()
+
+    def test_counter_tracks_schedule_cancel_fire(self):
+        engine = EventEngine()
+        self._check(engine)
+        handles = [engine.schedule_at(float(t), lambda: None) for t in range(1, 6)]
+        self._check(engine)
+        assert engine.pending_events == 5
+        handles[1].cancel()
+        handles[3].cancel()
+        self._check(engine)
+        assert engine.pending_events == 3
+        engine.run_until(2.5)  # fires t=1, skips cancelled t=2
+        self._check(engine)
+        assert engine.pending_events == 2
+        engine.run_until_idle()
+        self._check(engine)
+        assert engine.pending_events == 0
+
+    def test_counter_through_periodic_and_chained_events(self):
+        engine = EventEngine()
+        engine.schedule_every(1.0, lambda: engine.pending_events)
+        engine.schedule_at(2.5, lambda: engine.schedule_in(0.25, lambda: None))
+        engine.run_until(4.0)
+        self._check(engine)
+        # The periodic reschedules itself: exactly one live event remains.
+        assert engine.pending_events == 1
+
+    def test_counter_when_callback_cancels_future_event(self):
+        engine = EventEngine()
+        victim = engine.schedule_at(3.0, lambda: None)
+        engine.schedule_at(1.0, victim.cancel)
+        engine.run_until_idle()
+        self._check(engine)
+        assert engine.pending_events == 0
+
 
 class TestPeriodic:
     def test_fixed_interval(self):

@@ -37,6 +37,7 @@ REQUIRED_RULES = [
     "DET004",
     "EXC001",
     "PERF001",
+    "PERF002",
 ]
 
 #: rule code -> fixture file stem prefix (bad/good suffixed below).
@@ -46,6 +47,7 @@ FIXTURE_FILES = {
     "DET003": "repro/simulator/det003",
     "DET004": "repro/validation/det004",
     "PERF001": "repro/simulator/perf001",
+    "PERF002": "repro/simulator/perf002",
     "API001": "repro/simulator/api001",
     "API002": "repro/simulator/api002",
     "EXC001": "repro/validation/exc001",

@@ -88,7 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument(
         "--fuzz", action="store_true",
-        help="also run the randomized scenario fuzzer",
+        help="also run the randomized scenario fuzzer (draws incast "
+             "patterns, heavy-tailed empirical arrivals, barrier bursts, "
+             "failure storms, and the predictive detector; every case "
+             "runs under the invariant battery plus the storm oracle)",
     )
     validate.add_argument(
         "--seeds", type=int, default=None,
@@ -156,10 +159,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--pods", type=int, default=4, help="fat-tree p")
     compare.add_argument(
-        "--pattern", default="stride", choices=["random", "staggered", "stride"]
+        "--pattern", default="stride",
+        choices=["random", "staggered", "stride", "incast"],
+    )
+    compare.add_argument(
+        "--incast-targets", type=int, default=1, metavar="N",
+        help="receiver count for --pattern incast",
     )
     compare.add_argument(
         "--schedulers", nargs="+", default=["ecmp", "dard"], choices=sorted(SCHEDULERS)
+    )
+    compare.add_argument(
+        "--arrival", default="poisson",
+        choices=["poisson", "empirical", "incast-barrier"],
+        help="arrival process (see repro.workloads.scenarios)",
+    )
+    compare.add_argument(
+        "--size-preset", default="websearch", metavar="NAME",
+        help="flow-size preset for --arrival empirical "
+             "(websearch / datamining / cache)",
+    )
+    compare.add_argument(
+        "--barrier-period", type=float, default=None, metavar="SECONDS",
+        help="burst period for --arrival incast-barrier "
+             "(default: duration/6, so short runs still see bursts)",
+    )
+    compare.add_argument(
+        "--detector", default="threshold", choices=["threshold", "predictive"],
+        help="elephant detection: the paper's age threshold or the "
+             "EWMA predictive classifier",
+    )
+    compare.add_argument(
+        "--storm", action="store_true",
+        help="overlay a rolling failure storm (fail/restore waves over "
+             "random switch cables, seeded from --seed)",
     )
     compare.add_argument("--rate", type=float, default=0.06, help="flows/s per host")
     compare.add_argument("--duration", type=float, default=90.0)
@@ -266,6 +299,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     topology_params = {"link_bandwidth_bps": args.bandwidth_mbps * MBPS}
     if args.topology == "fattree":
         topology_params["p"] = args.pods
+    pattern_params = {}
+    if args.pattern == "incast":
+        pattern_params = {"targets": args.incast_targets}
+    arrival_params = {}
+    if args.arrival == "empirical":
+        arrival_params = {"size_preset": args.size_preset}
+    elif args.arrival == "incast-barrier":
+        # The process default (1/rate) can exceed a short --duration and
+        # fire zero bursts; tie the default to the run length instead.
+        period = args.barrier_period
+        if period is None:
+            period = max(0.5, args.duration / 6)
+        arrival_params = {"period_s": period}
+    network_params = {}
+    if args.detector != "threshold":
+        network_params = {"elephant_detector": args.detector}
+    link_events = ()
+    if args.storm:
+        from repro.common.rng import RngStreams
+        from repro.topology import build_topology
+        from repro.workloads import FailureStormScenario
+
+        storm = FailureStormScenario(
+            start_s=max(1.0, args.duration / 6),
+            wave_interval_s=max(1.0, args.duration / 10),
+            waves=3,
+            cables_per_wave=1,
+            outage_s=max(0.5, args.duration / 12),
+        )
+        link_events = storm.link_events(
+            build_topology(args.topology, **topology_params),
+            RngStreams(args.seed).stream("storm"),
+        )
     rows = []
     results = []
     baseline = None
@@ -275,11 +341,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 topology=args.topology,
                 topology_params=topology_params,
                 pattern=args.pattern,
+                pattern_params=pattern_params,
                 scheduler=scheduler,
                 arrival_rate_per_host=args.rate,
                 duration_s=args.duration,
                 flow_size_bytes=args.size_mb * MB,
                 seed=args.seed,
+                network_params=network_params,
+                arrival=args.arrival,
+                arrival_params=arrival_params,
+                link_events=link_events,
             )
         )
         results.append((scheduler, result))

@@ -27,7 +27,7 @@ from repro.scheduling.base import Scheduler, SchedulerContext
 from repro.simulator.flows import FlowRecord
 from repro.simulator.network import Network
 from repro.topology import build_topology
-from repro.workloads import ArrivalProcess, WorkloadSpec, make_pattern
+from repro.workloads import WorkloadSpec, make_arrival_process, make_pattern
 
 def _texcp_flowlet(**kwargs) -> TexcpScheduler:
     return TexcpScheduler(granularity="flowlet", **kwargs)
@@ -68,6 +68,11 @@ class ScenarioConfig:
     pattern_params: dict = field(default_factory=dict)
     scheduler_params: dict = field(default_factory=dict)
     network_params: dict = field(default_factory=dict)
+    #: arrival-process kind: ``poisson`` (the paper's baseline),
+    #: ``empirical`` (heavy-tailed sizes/gaps), or ``incast-barrier``
+    #: (synchronized bursts); see ``repro.workloads.scenarios``.
+    arrival: str = "poisson"
+    arrival_params: dict = field(default_factory=dict)
     #: after arrivals stop, keep simulating until all flows finish or this
     #: much extra time elapses (flows admitted late still need to drain).
     drain_limit_s: float = 600.0
@@ -160,12 +165,14 @@ def run_scenario(
         duration_s=config.duration_s,
         flow_size_bytes=config.flow_size_bytes,
     )
-    arrivals = ArrivalProcess(
+    arrivals = make_arrival_process(
+        config.arrival,
         engine=network.engine,
         pattern=pattern,
         spec=spec,
         sink=scheduler.place,
         rng=rngs.stream("arrivals"),
+        **config.arrival_params,
     )
     for action, when, u, v in config.link_events:
         if action == "fail":

@@ -140,10 +140,35 @@ class Network:
         model_reordering: bool = True,
         incremental_realloc: bool = True,
         settle_mode: str = "store",
+        elephant_detector: str = "threshold",
+        detector_params: Optional[dict] = None,
     ) -> None:
         self.topology = topology
         self.engine = engine if engine is not None else EventEngine()
         self.elephant_age_s = elephant_age_s
+        #: pluggable elephant detection. ``"threshold"`` (default) is the
+        #: paper's age timer, inline in :meth:`start_flow` — the exact
+        #: historical event sequence. ``"predictive"`` installs the
+        #: EWMA-over-first-RTTs classifier (see ``detectors`` module).
+        if elephant_detector == "threshold":
+            if detector_params:
+                raise SimulationError(
+                    "threshold detector takes no detector_params; got "
+                    f"{sorted(detector_params)}"
+                )
+            self.elephant_detector = None
+        elif elephant_detector == "predictive":
+            from repro.simulator.detectors import PredictiveElephantDetector
+
+            self.elephant_detector = PredictiveElephantDetector(
+                **(detector_params or {})
+            )
+            self.elephant_detector.attach(self)
+        else:
+            raise SimulationError(
+                "elephant_detector must be 'threshold' or 'predictive', "
+                f"got {elephant_detector!r}"
+            )
         self.path_switch_retx_bytes = path_switch_retx_bytes
         self.model_reordering = model_reordering
         self.incremental_realloc = bool(incremental_realloc)
@@ -299,9 +324,13 @@ class Network:
                 flow.flow_id, flow.unique_link_ids
             )
         self._stat_flows_started += 1
-        self.engine.schedule_in(
-            self.elephant_age_s, lambda fid=flow.flow_id: self._promote_elephant(fid)
-        )
+        if self.elephant_detector is None:
+            self.engine.schedule_in(
+                self.elephant_age_s,
+                lambda fid=flow.flow_id: self._promote_elephant(fid),
+            )
+        else:
+            self.elephant_detector.on_flow_started(flow)
         for listener in self.flow_started_listeners:
             listener(flow)
         self._request_realloc()
@@ -659,6 +688,8 @@ class Network:
             "settle_batches": self._stat_settle_batches,
         }
         stats.update(self.flow_store.stats())
+        if self.elephant_detector is not None:
+            stats.update(self.elephant_detector.stats())
         for provider in self.controlplane_stats_providers:
             stats.update(provider())
         return stats

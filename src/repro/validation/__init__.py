@@ -13,9 +13,11 @@ Four layers, composable and individually importable:
   vectorized DARD control plane vs the scalar per-monitor reference
   (same shift journal, bit-identical FCTs), the columnar FlowStore
   settle/ETA/completion passes vs the scalar per-flow reference loops
-  (same bit-exact contract), and the fluid simulator vs the packet-level
+  (same bit-exact contract), the fluid simulator vs the packet-level
   TCP micro-simulator inside the documented 0.81-1.02x FCT agreement
-  band;
+  band, and the :class:`StormOracle` that screens every placement and
+  reroute against the failed-link set while auditing flow-store row
+  accounting across fail/restore churn;
 * :mod:`repro.validation.fuzz` — seeded randomized scenario fuzzing with
   shrink-on-failure minimal reproductions;
 * :mod:`repro.validation.snapshot` — golden-trace regression snapshots
@@ -30,6 +32,7 @@ from repro.validation.invariants import (
     InvariantChecker,
     SwitchTableSnapshot,
     check_dynamics_monotone,
+    check_flowstore_balance,
     check_maxmin_certificate,
     check_network_allocation,
     check_static_forwarding,
@@ -38,6 +41,7 @@ from repro.validation.invariants import (
 from repro.validation.oracles import (
     FCT_AGREEMENT_BAND,
     FLUID_VS_PACKET_SCENARIOS,
+    StormOracle,
     allocator_equivalence_suite,
     check_allocator_equivalence,
     check_controlplane_equivalence,
@@ -54,6 +58,7 @@ from repro.validation.fuzz import (
     FuzzFailure,
     FuzzReport,
     inject_capacity_bug,
+    inject_storm_bug,
     random_scenario,
     run_case,
     run_fuzz,
@@ -78,11 +83,13 @@ __all__ = [
     "FuzzReport",
     "GOLDEN_SCENARIOS",
     "InvariantChecker",
+    "StormOracle",
     "SwitchTableSnapshot",
     "allocator_equivalence_suite",
     "check_allocator_equivalence",
     "check_controlplane_equivalence",
     "check_dynamics_monotone",
+    "check_flowstore_balance",
     "check_incremental_against_full",
     "check_maxmin_certificate",
     "check_network_against_reference",
@@ -98,6 +105,7 @@ __all__ = [
     "compare_settle_results",
     "controlplane_equivalence_suite",
     "inject_capacity_bug",
+    "inject_storm_bug",
     "random_scenario",
     "run_case",
     "run_fluid_vs_packet",

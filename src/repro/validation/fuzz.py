@@ -24,11 +24,17 @@ from repro.common.errors import ReproError
 from repro.common.rng import RngStreams
 from repro.experiments.configio import config_to_dict
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+from repro.workloads.scenarios import SIZE_PRESETS, FailureStormScenario
 
 #: Schedulers drawn by the generator (all registered ones).
 FUZZ_SCHEDULERS = ("ecmp", "vlb", "hedera", "gff", "texcp", "texcp-flowlet", "dard")
 
-FUZZ_PATTERNS = ("random", "staggered", "stride")
+FUZZ_PATTERNS = ("random", "staggered", "stride", "incast")
+
+#: Arrival-process kinds the generator draws, weighted toward the paper's
+#: Poisson baseline; "empirical" adds heavy-tailed sizes, "incast-barrier"
+#: synchronized bursts (see ``repro.workloads.scenarios``).
+FUZZ_ARRIVALS = ("poisson", "empirical", "incast-barrier")
 
 #: (topology kind, params) families; sizes kept small so one case runs in
 #: well under a second and a 200-seed sweep stays interactive.
@@ -61,12 +67,46 @@ def random_scenario(seed: int) -> ScenarioConfig:
     if kind == "fattree" and rng.random() < 0.25:
         topo_params["p"] = 6
     pattern = FUZZ_PATTERNS[int(rng.integers(len(FUZZ_PATTERNS)))]
+    pattern_params: dict = {}
+    if pattern == "incast":
+        pattern_params = {"targets": int(rng.integers(1, 3))}
     scheduler = FUZZ_SCHEDULERS[int(rng.integers(len(FUZZ_SCHEDULERS)))]
     duration = float(rng.uniform(8.0, 25.0))
+    # Arrival process, weighted toward the Poisson baseline.
+    arrival = "poisson"
+    arrival_params: dict = {}
+    arrival_roll = rng.random()
+    if arrival_roll < 0.20:
+        arrival = "empirical"
+        arrival_params = {
+            "size_preset": sorted(SIZE_PRESETS)[int(rng.integers(len(SIZE_PRESETS)))]
+        }
+    elif arrival_roll < 0.35:
+        # Explicit barrier period: the default (1/rate, up to 20 s) can
+        # exceed the drawn duration and produce a zero-flow case.
+        arrival = "incast-barrier"
+        arrival_params = {"period_s": float(rng.uniform(0.5, duration / 4))}
     link_events: List[tuple] = []
-    if rng.random() < 0.5:
-        # Failure schedule over switch-switch cables, drawn later than t=1
-        # so some flows exist; half the failures are followed by a restore.
+    failure_roll = rng.random()
+    if failure_roll < 0.25:
+        # Rolling failure storm: waves of fail/restore over random cables
+        # (see FailureStormScenario); always >= 3 fail events, which is
+        # what distinguishes a storm from the sporadic schedule below.
+        from repro.topology import build_topology
+
+        topology = build_topology(kind, **topo_params)
+        storm = FailureStormScenario(
+            start_s=float(rng.uniform(1.0, max(2.0, duration / 3))),
+            wave_interval_s=float(rng.uniform(1.0, 3.0)),
+            waves=int(rng.integers(3, 6)),
+            cables_per_wave=int(rng.integers(1, 3)),
+            outage_s=float(rng.uniform(0.5, 2.5)),
+        )
+        link_events = list(storm.link_events(topology, rng))
+    elif failure_roll < 0.6:
+        # Sporadic failure schedule over switch-switch cables, drawn later
+        # than t=1 so some flows exist; half the failures are followed by
+        # a restore.
         from repro.topology import build_topology
 
         topology = build_topology(kind, **topo_params)
@@ -84,15 +124,22 @@ def random_scenario(seed: int) -> ScenarioConfig:
                 link_events.append(
                     ("restore", float(rng.uniform(when, duration + 5.0)), u, v)
                 )
+    network_params: dict = {}
+    if rng.random() < 0.2:
+        network_params = {"elephant_detector": "predictive"}
     return ScenarioConfig(
         topology=kind,
         topology_params=topo_params,
         pattern=pattern,
+        pattern_params=pattern_params,
         scheduler=scheduler,
         arrival_rate_per_host=float(rng.uniform(0.05, 0.2)),
         duration_s=duration,
         flow_size_bytes=float(rng.uniform(2e6, 32e6)),
         seed=int(rng.integers(2**31)),
+        network_params=network_params,
+        arrival=arrival,
+        arrival_params=arrival_params,
         drain_limit_s=90.0,
         link_events=tuple(sorted(link_events, key=lambda e: e[1])),
     )
@@ -115,6 +162,25 @@ def inject_capacity_bug(network) -> None:
     # otherwise keep its pre-corruption (still consistent) rates and the
     # bug would not manifest until some demand touched the cable.
     network._force_full = True
+
+
+def inject_storm_bug(network) -> None:
+    """Seeded storm bug: the *first* link failure corrupts a capacity entry.
+
+    Models the class of bug storms are uniquely good at finding — state
+    that only goes bad on the failure-handling path. A scenario with no
+    ``fail`` event runs clean, so shrinking a storm schedule against this
+    bug must converge to a single failure event, which is exactly what
+    the shrinker's coverage test asserts.
+    """
+    armed = [True]
+
+    def corrupt_once(u: str, v: str) -> None:
+        if armed[0]:
+            armed[0] = False
+            inject_capacity_bug(network)
+
+    network.link_failed_listeners.append(corrupt_once)
 
 
 def run_case(
@@ -142,11 +208,17 @@ def run_case(
     oracle: the scenario is re-run with the scalar per-flow settle loops
     (``settle_mode="reference"``) and compared record for record against
     the columnar FlowStore run under the same bit-exact contract.
+
+    Finally a :class:`~repro.validation.oracles.StormOracle` shadows the
+    primary run: every placement and reroute is screened against the
+    failed-link set, and flow-store row accounting is re-audited at each
+    fail/restore edge and once after the drain.
     """
     from repro.addressing import HierarchicalAddressing, PathCodec
     from repro.switches import SwitchFabric
-    from repro.validation.invariants import InvariantChecker
+    from repro.validation.invariants import InvariantChecker, check_flowstore_balance
     from repro.validation.oracles import (
+        StormOracle,
         check_incremental_against_full,
         check_network_against_reference,
         compare_controlplane_results,
@@ -154,6 +226,7 @@ def run_case(
     )
 
     checker_box: List[InvariantChecker] = []
+    storm_oracle = StormOracle()
 
     def instrument(network) -> None:
         if corrupt is not None:
@@ -167,13 +240,17 @@ def run_case(
         )
         checker.checks.append(check_network_against_reference)
         checker.checks.append(check_incremental_against_full)
+        checker.checks.append(check_flowstore_balance)
         checker.attach()
         checker_box.append(checker)
+        storm_oracle.attach(network)
 
     result = run_scenario(config, instrument=instrument)
     if checker_box:
         checker_box[0].run_checks()
         checker_box[0].detach()
+        storm_oracle.final_check()
+        storm_oracle.detach()
     if config.scheduler == "dard" and config.scheduler_params.get("vectorized", True):
         # Same world for the reference run — including any injected bug —
         # so this oracle only ever fires on control-plane divergence.
@@ -269,10 +346,12 @@ def shrink_config(
     """Greedily minimize a failing config; returns (shrunk, runs_used).
 
     Tries, in order: dropping failure-schedule events, simplifying the
-    scheduler to ECMP, the pattern to random, the topology to the p=4
-    fat-tree, then halving duration and arrival rate. Each simplification
-    is kept only if the case still fails; the loop repeats to a fixpoint
-    or until ``max_runs`` re-executions are spent.
+    scheduler to ECMP, the pattern to random, the arrival process to
+    Poisson, the network to its defaults (threshold detection), the
+    topology to the p=4 fat-tree, then halving duration and arrival
+    rate. Each simplification is kept only if the case still fails; the
+    loop repeats to a fixpoint or until ``max_runs`` re-executions are
+    spent.
     """
     runs = 0
 
@@ -284,6 +363,10 @@ def shrink_config(
             yield dataclasses.replace(current, scheduler="ecmp", scheduler_params={})
         if current.pattern != "random":
             yield dataclasses.replace(current, pattern="random", pattern_params={})
+        if current.arrival != "poisson" or current.arrival_params:
+            yield dataclasses.replace(current, arrival="poisson", arrival_params={})
+        if current.network_params:
+            yield dataclasses.replace(current, network_params={})
         if current.topology != "fattree" or current.topology_params != {"p": 4}:
             # Node names are topology-specific, so the failure schedule
             # cannot survive a topology swap; the per-event drops above

@@ -46,7 +46,10 @@ from repro.simulator.maxmin import (
     maxmin_allocate_reference,
 )
 from repro.simulator.network import Network
-from repro.validation.invariants import check_maxmin_certificate
+from repro.validation.invariants import (
+    check_flowstore_balance,
+    check_maxmin_certificate,
+)
 
 #: The documented fluid-vs-packet FCT agreement band: packet/fluid ratio
 #: observed across every checked scenario (EXPERIMENTS.md, DESIGN.md).
@@ -70,6 +73,13 @@ FLUID_VS_PACKET_SCENARIOS: Dict[str, List[Tuple[str, str, int]]] = {
         ("h_0_1_0", "h_3_0_0", 0),
     ],
     "disjoint": [("h_0_0_0", "h_1_0_0", 0), ("h_0_1_0", "h_2_0_1", 3)],
+    # Many-to-one: three senders converge on one receiver's access link,
+    # the adversarial incast shape (ratio 0.85 measured, inside the band).
+    "incast": [
+        ("h_1_0_0", "h_0_0_0", 0),
+        ("h_2_0_0", "h_0_0_0", 0),
+        ("h_3_0_0", "h_0_0_0", 1),
+    ],
 }
 
 #: Flow size the agreement band was measured at.
@@ -486,3 +496,137 @@ def run_fluid_vs_packet(
                     subject=name,
                 )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Storm oracle (routing and row accounting across fail/restore churn)
+# ---------------------------------------------------------------------------
+
+class StormOracle:
+    """Certify a live network across failure storms.
+
+    Two executable claims, checked continuously while attached:
+
+    * **no flow is ever routed over a failed link** — every
+      ``start_flow`` and ``reroute_flow`` is intercepted, and a chosen
+      component crossing a cable in ``failed_links`` is a violation
+      *unless no fully-alive equal-cost path existed at that instant*.
+      The carve-out is the documented stall semantics
+      (``Scheduler.alive_paths``): when e.g. a host's access cable is
+      down, the flow is placed anyway and stalls until the failure
+      heals, as real traffic would — what is never allowed is choosing
+      a dead path while a live alternative was on the table;
+    * **FlowStore row accounting balances across fail/restore churn** —
+      after every ``fail_link`` / ``restore_link`` (the points where
+      stalls, completion bursts, and compaction collide),
+      :func:`~repro.validation.invariants.check_flowstore_balance`
+      must pass exactly.
+
+    Attach via the runner's ``instrument`` seam before any traffic
+    starts; :meth:`final_check` re-audits the books once the run drains.
+    Interception is pure observation — no RNG, no state mutation — so an
+    attached oracle never changes what a seed does.
+    """
+
+    def __init__(self) -> None:
+        self.network: Optional[Network] = None
+        self.placements_checked = 0
+        self.reroutes_checked = 0
+        self.stalled_placements = 0
+        self.failures_seen = 0
+        self.restores_seen = 0
+        self.balance_checks = 0
+        self._orig_start = None
+        self._orig_reroute = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, network: Network) -> "StormOracle":
+        """Interpose on one network's flow placement and failure hooks."""
+        if self.network is not None:
+            raise ValueError("StormOracle is already attached")
+        self.network = network
+        self._orig_start = network.start_flow
+        self._orig_reroute = network.reroute_flow
+        network.start_flow = self._start_flow  # type: ignore[method-assign]
+        network.reroute_flow = self._reroute_flow  # type: ignore[method-assign]
+        network.link_failed_listeners.append(self._on_failed)
+        network.link_restored_listeners.append(self._on_restored)
+        return self
+
+    def detach(self) -> None:
+        """Restore the wrapped methods and listeners (idempotent)."""
+        network = self.network
+        if network is None:
+            return
+        network.start_flow = self._orig_start  # type: ignore[method-assign]
+        network.reroute_flow = self._orig_reroute  # type: ignore[method-assign]
+        network.link_failed_listeners.remove(self._on_failed)
+        network.link_restored_listeners.remove(self._on_restored)
+        self.network = None
+
+    # -- interception -----------------------------------------------------------
+
+    def _start_flow(self, src, dst, size_bytes, components):
+        self.placements_checked += 1
+        self._check_components(src, dst, components, "placement")
+        return self._orig_start(src, dst, size_bytes, components)
+
+    def _reroute_flow(self, flow, components, count_switch=True, retx_penalty=True):
+        self.reroutes_checked += 1
+        self._check_components(flow.src, flow.dst, components, "reroute")
+        return self._orig_reroute(
+            flow, components, count_switch=count_switch, retx_penalty=retx_penalty
+        )
+
+    def _check_components(self, src, dst, components, kind) -> None:
+        network = self.network
+        if not network.failed_links:
+            return
+        dead = [c for c in components if not network.path_alive(c.path)]
+        if not dead:
+            return
+        topo = network.topology
+        paths = topo.equal_cost_paths(topo.tor_of(src), topo.tor_of(dst))
+        alive = [
+            p for p in paths if network.path_alive(topo.host_path(src, dst, p))
+        ]
+        if alive:
+            raise OracleViolation(
+                "storm-routing",
+                f"{kind} of {src}->{dst} at t={network.now:.3f} rides a "
+                f"failed link on {dead[0].path!r} while {len(alive)} "
+                f"alive equal-cost path(s) existed",
+            )
+        self.stalled_placements += 1
+
+    def _on_failed(self, u: str, v: str) -> None:
+        self.failures_seen += 1
+        self._check_balance()
+
+    def _on_restored(self, u: str, v: str) -> None:
+        self.restores_seen += 1
+        self._check_balance()
+
+    def _check_balance(self) -> None:
+        self.balance_checks += 1
+        check_flowstore_balance(self.network)
+
+    # -- reporting --------------------------------------------------------------
+
+    def final_check(self) -> None:
+        """Audit the books once more; call after the run drains."""
+        if self.network is None:
+            raise ValueError("StormOracle is not attached")
+        self._check_balance()
+
+    def stats(self) -> Dict[str, float]:
+        """Interception counters, for reports and coverage assertions."""
+        return {
+            "storm_placements_checked": float(self.placements_checked),
+            "storm_reroutes_checked": float(self.reroutes_checked),
+            "storm_stalled_placements": float(self.stalled_placements),
+            "storm_failures_seen": float(self.failures_seen),
+            "storm_restores_seen": float(self.restores_seen),
+            "storm_balance_checks": float(self.balance_checks),
+        }

@@ -27,6 +27,23 @@ from repro.workloads.patterns import (
     TrafficPattern,
     make_pattern,
 )
+from repro.workloads.scenarios import (
+    ARRIVAL_PROCESSES,
+    EmpiricalArrivalProcess,
+    EmpiricalDistribution,
+    FailureStormScenario,
+    INTERARRIVAL_PRESETS,
+    IncastBarrierProcess,
+    IncastPattern,
+    LognormalDistribution,
+    MixtureDistribution,
+    ParetoDistribution,
+    PredictiveElephantDetector,
+    SIZE_PRESETS,
+    make_arrival_process,
+    make_interarrival_distribution,
+    make_size_distribution,
+)
 from repro.workloads.trace import (
     TraceEntry,
     TraceRecorder,
@@ -36,12 +53,24 @@ from repro.workloads.trace import (
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "ArrivalProcess",
     "CompositePattern",
+    "EmpiricalArrivalProcess",
+    "EmpiricalDistribution",
+    "FailureStormScenario",
+    "INTERARRIVAL_PRESETS",
+    "IncastBarrierProcess",
+    "IncastPattern",
     "LoadPhase",
     "LoadProfile",
+    "LognormalDistribution",
+    "MixtureDistribution",
     "ModulatedArrivalProcess",
+    "ParetoDistribution",
+    "PredictiveElephantDetector",
     "RandomPattern",
+    "SIZE_PRESETS",
     "StaggeredPattern",
     "StridePattern",
     "TraceEntry",
@@ -50,6 +79,9 @@ __all__ = [
     "TrafficPattern",
     "WorkloadSpec",
     "load_trace",
+    "make_arrival_process",
+    "make_interarrival_distribution",
     "make_pattern",
+    "make_size_distribution",
     "save_trace",
 ]

@@ -135,10 +135,10 @@ class StridePattern(TrafficPattern):
 def make_pattern(name: str, topology: MultiRootedTopology, **kwargs) -> TrafficPattern:
     """Construct a pattern by name.
 
-    ``random`` / ``staggered`` / ``stride`` take their constructor kwargs
-    directly. ``composite`` takes ``mix``, a list of ``[name, weight]`` (or
-    ``[name, weight, kwargs]``) entries describing the mixture, e.g.
-    ``mix=[["staggered", 0.7], ["stride", 0.3]]``.
+    ``random`` / ``staggered`` / ``stride`` / ``incast`` take their
+    constructor kwargs directly. ``composite`` takes ``mix``, a list of
+    ``[name, weight]`` (or ``[name, weight, kwargs]``) entries describing
+    the mixture, e.g. ``mix=[["staggered", 0.7], ["stride", 0.3]]``.
     """
     if name == "composite":
         from repro.workloads.composite import CompositePattern
@@ -163,6 +163,10 @@ def make_pattern(name: str, topology: MultiRootedTopology, **kwargs) -> TrafficP
             patterns.append(make_pattern(sub_name, topology, **sub_kwargs))
             weights.append(float(weight))
         return CompositePattern(patterns, weights)
+    if name == "incast":
+        from repro.workloads.scenarios import IncastPattern
+
+        return IncastPattern(topology, **kwargs)
     patterns = {
         "random": RandomPattern,
         "staggered": StaggeredPattern,
@@ -171,6 +175,6 @@ def make_pattern(name: str, topology: MultiRootedTopology, **kwargs) -> TrafficP
     if name not in patterns:
         raise ConfigurationError(
             f"unknown traffic pattern {name!r}; expected one of "
-            f"{sorted(patterns) + ['composite']}"
+            f"{sorted(patterns) + ['composite', 'incast']}"
         )
     return patterns[name](topology, **kwargs)

@@ -43,25 +43,42 @@ class TraceEntry:
 
 
 def load_trace(path: PathLike) -> List[TraceEntry]:
-    """Read a trace CSV; entries are returned sorted by arrival time."""
+    """Read a trace CSV; entries are returned sorted by arrival time.
+
+    Any malformed row — missing or empty columns, unparsable numbers, or
+    a value :class:`TraceEntry` itself rejects (negative time,
+    non-positive size, self-flow) — raises
+    :class:`~repro.common.errors.ConfigurationError` naming the
+    offending line, so a bad hand-edited trace points straight at its
+    own defect instead of surfacing later as a crash mid-simulation.
+    """
     entries = []
+    columns = ("time_s", "src", "dst", "size_bytes")
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
-        required = {"time_s", "src", "dst", "size_bytes"}
-        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+        if reader.fieldnames is None or not set(columns) <= set(reader.fieldnames):
             raise ConfigurationError(
-                f"trace {path} must have columns {sorted(required)}, "
+                f"trace {path} must have columns {sorted(columns)}, "
                 f"got {reader.fieldnames}"
             )
         for row in reader:
-            entries.append(
-                TraceEntry(
-                    time_s=float(row["time_s"]),
-                    src=row["src"],
-                    dst=row["dst"],
-                    size_bytes=float(row["size_bytes"]),
+            line = reader.line_num
+            try:
+                missing = [key for key in columns if not row.get(key)]
+                if missing:
+                    raise ConfigurationError(f"missing value(s) for {missing}")
+                entries.append(
+                    TraceEntry(
+                        time_s=float(row["time_s"]),
+                        src=row["src"],
+                        dst=row["dst"],
+                        size_bytes=float(row["size_bytes"]),
+                    )
                 )
-            )
+            except (ConfigurationError, ValueError) as err:
+                raise ConfigurationError(
+                    f"trace {path} line {line}: {err}"
+                ) from None
     entries.sort(key=lambda e: e.time_s)
     return entries
 

@@ -128,6 +128,20 @@ class TestAutoWidening:
         for host in topo.hosts():
             assert addressing.num_addresses_per_host(host) == 4
 
+    def test_p64_boundary_pins_default_base(self):
+        """Regression pin for the p=64 scale target: its hierarchy costs
+        10 (core) + 6 (agg) + 6 (tor) level bits plus 5 host bits = 27,
+        three over the /8's 24-bit budget. The auto-shortened default
+        must be exactly the /5 that preserves 10.0.0.0's leading bits —
+        not some other length, and not an error."""
+        base = HierarchicalAddressing._default_base(22, 5)
+        assert str(base) == "8.0.0.0/5"
+        # At exactly 24 bits the historical /8 still fits and survives.
+        assert str(HierarchicalAddressing._default_base(19, 5)) == "10.0.0.0/8"
+        # Past 32 bits nothing fits: explicit error, not a silent wrap.
+        with pytest.raises(AddressingError):
+            HierarchicalAddressing._default_base(30, 3)
+
     def test_explicit_base_is_never_adjusted(self):
         with pytest.raises(AddressingError):
             HierarchicalAddressing(

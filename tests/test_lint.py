@@ -214,6 +214,26 @@ class TestSelfCheck:
         assert findings == [], [f.render() for f in findings]
         assert files_scanned > 50
 
+    def test_scenario_modules_are_det002_clean(self):
+        # The adversarial scenario engine lives or dies on seed purity:
+        # every sampler must draw from an injected Generator, never the
+        # global RNG or the wall clock. Scan the scenario-engine modules
+        # explicitly so a regression names the file, not just "src".
+        modules = [
+            REPO_ROOT / "src" / "repro" / "workloads" / "scenarios.py",
+            REPO_ROOT / "src" / "repro" / "workloads" / "composite.py",
+            REPO_ROOT / "src" / "repro" / "simulator" / "detectors.py",
+            REPO_ROOT / "src" / "repro" / "validation" / "fuzz.py",
+        ]
+        for module in modules:
+            assert module.exists(), module
+        findings, files_scanned = run_lint(
+            [str(m) for m in modules], load_config(REPO_ROOT / "src")
+        )
+        det002 = [f for f in findings if f.code == "DET002"]
+        assert det002 == [], [f.render() for f in det002]
+        assert files_scanned == len(modules)
+
     def test_cli_lint_src_exits_zero(self, capsys):
         assert main(["lint", str(REPO_ROOT / "src" / "repro")]) == 0
         assert "dardlint: clean" in capsys.readouterr().out

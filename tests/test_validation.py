@@ -244,7 +244,12 @@ class TestFuzzer:
         assert report.cases == 4
 
     def test_injected_bug_is_caught_and_shrunk(self):
-        report = run_fuzz(seeds=2, inject_bug=True, shrink_failures=2)
+        # Detection is probabilistic per seed (the corrupted access cable
+        # must carry demand inside a checker window); seeds 8 and 9 both
+        # draw configs that expose it. The CLI self-test sweeps 100 seeds
+        # and only needs one catch — here we pin two known-hot seeds so
+        # the shrink machinery is exercised on every failure.
+        report = run_fuzz(seeds=2, start_seed=8, inject_bug=True, shrink_failures=2)
         assert not report.ok, "the oracles missed the injected capacity bug"
         assert len(report.failures) == 2
         for failure in report.failures:
@@ -292,6 +297,36 @@ class TestFuzzer:
     def test_run_case_attaches_battery(self):
         result = run_case(random_scenario(2), every_n_events=3)
         assert result.flows_generated >= 0
+
+    def test_draw_space_covers_every_scenario_class(self):
+        # Satellite contract: within a bounded draw budget (no sims run)
+        # the generator must exercise incast patterns, synchronized
+        # barriers, empirical sizes, failure storms (>= 3 fail events —
+        # what distinguishes a storm from the sporadic schedule), and the
+        # predictive detector. Draws are pure functions of the seed, so
+        # these counts are exact, not flaky.
+        configs = [random_scenario(seed) for seed in range(300)]
+        incast = sum(c.pattern == "incast" for c in configs)
+        barriers = sum(c.arrival == "incast-barrier" for c in configs)
+        empirical = sum(c.arrival == "empirical" for c in configs)
+        storms = sum(
+            sum(e[0] == "fail" for e in c.link_events) >= 3 for c in configs
+        )
+        predictive = sum(
+            c.network_params.get("elephant_detector") == "predictive"
+            for c in configs
+        )
+        assert incast >= 20, incast
+        assert barriers >= 20, barriers
+        assert empirical >= 20, empirical
+        assert storms >= 20, storms
+        assert predictive >= 20, predictive
+        # Incast draws always carry a valid targets parameter.
+        assert all(
+            c.pattern_params.get("targets", 0) >= 1
+            for c in configs
+            if c.pattern == "incast"
+        )
 
 
 # ---------------------------------------------------------------------------

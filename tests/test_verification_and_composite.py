@@ -152,3 +152,43 @@ class TestModulatedArrivals:
     def test_fully_idle_profile(self):
         profile = LoadProfile([LoadPhase(200.0, 0.0)])
         assert self._count_arrivals(profile) == []
+
+
+class TestSeedStability:
+    """Composite/modulated workloads are pure functions of their seed —
+    the determinism contract every scenario class must honor."""
+
+    def test_composite_pattern_same_seed_same_destinations(self, fattree4):
+        def draws(seed):
+            rng = np.random.default_rng(seed)
+            pattern = CompositePattern(
+                [StaggeredPattern(fattree4), StridePattern(fattree4)],
+                weights=[0.7, 0.3],
+            )
+            return [pattern.pick_dst("h_0_0_0", rng) for _ in range(200)]
+
+        assert draws(42) == draws(42)
+        assert draws(42) != draws(43)  # the seed is actually consumed
+
+    def test_modulated_arrivals_same_seed_same_stream(self):
+        profile = LoadProfile.step(low=0.5, high=2.0, switch_at_s=20.0, end_s=40.0)
+
+        def arrivals(seed):
+            engine = EventEngine()
+            topo = FatTree(p=4)
+            events = []
+            process = ModulatedArrivalProcess(
+                engine=engine,
+                pattern=StridePattern(topo),
+                spec=WorkloadSpec(arrival_rate_per_host=0.5, duration_s=40.0),
+                sink=lambda s, d, b: events.append((engine.now, s, d, b)),
+                rng=np.random.default_rng(seed),
+                profile=profile,
+            )
+            process.start()
+            engine.run_until_idle()
+            return events
+
+        # Byte-identical: same instants, same endpoints, same sizes.
+        assert arrivals(7) == arrivals(7)
+        assert arrivals(7) != arrivals(8)

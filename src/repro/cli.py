@@ -112,6 +112,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "oracles must catch it",
     )
     validate.add_argument(
+        "--sanitize", action="store_true",
+        help="run fuzz cases under the runtime ownership sanitizer: "
+             "write-barriers on the registered shared state assert the "
+             "static RACE verdicts dynamically (results stay bit-identical)",
+    )
+    validate.add_argument(
         "--oracle-cases", type=int, default=50,
         help="random instances for the allocator differential oracle",
     )
@@ -151,6 +157,15 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
+    )
+    lint.add_argument(
+        "--parallel-safety-report", default=None, metavar="FILE",
+        help="write the component-purity certificate (ownership table, "
+             "component closure, proven-pure function list) as JSON",
+    )
+    lint.add_argument(
+        "--allow-unused-suppressions", action="store_true",
+        help="transitional: do not report stale disable comments (DRD001)",
     )
 
     compare = sub.add_parser("compare", help="ad-hoc scheduler comparison")
@@ -488,6 +503,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             start_seed=args.start_seed,
             inject_bug=args.inject_bug,
             progress=print,
+            sanitize=args.sanitize,
         )
         print(report.render())
         if args.inject_bug:
@@ -506,7 +522,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, load_config, render_json, render_text, run_lint
+    import json as _json
+
+    from repro.lint import (
+        all_rules,
+        load_config,
+        render_json,
+        render_text,
+        run_lint_result,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -514,14 +538,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.code}  {rule.name:26s} [{scope}]  {rule.description}")
         return 0
     config = load_config()
-    findings, files_scanned = run_lint(args.paths, config)
+    if args.allow_unused_suppressions:
+        config.allow_unused_suppressions = True
+    result = run_lint_result(args.paths, config)
     renderer = render_json if args.format == "json" else render_text
-    report = renderer(findings, files_scanned)
+    report = renderer(result.findings, result.files_scanned, result.files_skipped)
     print(report)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
-    return 1 if findings else 0
+    if args.parallel_safety_report:
+        from repro.lint.callgraph import OwnershipAnalysis, parallel_safety_document
+
+        analysis = result.program.cache.get("ownership")
+        if not isinstance(analysis, OwnershipAnalysis):
+            analysis = OwnershipAnalysis(result.program.contexts)
+        document = parallel_safety_document(analysis)
+        with open(args.parallel_safety_report, "w") as handle:
+            _json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"parallel-safety: {len(document['proven_pure'])} of "
+            f"{len(document['functions'])} closure function(s) proven pure "
+            f"-> {args.parallel_safety_report}"
+        )
+    return 1 if result.findings else 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:

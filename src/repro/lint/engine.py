@@ -5,7 +5,10 @@ The engine is deliberately small: a :class:`Rule` is a class with a
 ``check(ctx)`` generator over :class:`Finding`; the driver parses each
 file once, hands the shared :class:`ModuleContext` to every rule whose
 scope covers the file's dotted module name, and filters the results
-through per-line ``# dardlint: disable=CODE`` suppressions.
+through per-line ``# dardlint: disable=<CODE>`` suppressions. (Doc
+examples here spell the code as ``<CODE>`` so the scanner — which
+matches physical lines, docstrings included — does not read them as
+real, and then unused, suppressions.)
 
 Scopes and suppressions exist because dardlint's rules encode *semantic*
 contracts (determinism, hot-path discipline, mutation ownership — see
@@ -41,17 +44,20 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 __all__ = [
     "Finding",
     "LintConfig",
+    "LintResult",
     "ModuleContext",
+    "ProgramContext",
     "Rule",
     "all_rules",
     "load_config",
     "module_name_for",
     "register",
     "run_lint",
+    "run_lint_result",
 ]
 
 #: Matches a suppression comment anywhere in a physical line. Codes may be
-#: followed by free-form rationale text: ``# dardlint: disable=DET002
+#: followed by free-form rationale text: ``# dardlint: disable=<CODE>
 #: (wall-clock telemetry only)``.
 _SUPPRESS_RE = re.compile(r"#\s*dardlint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
@@ -82,7 +88,14 @@ class ModuleContext:
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
-        self._suppressions = _scan_suppressions(self.lines)
+        self._suppressions, self._suppression_cols = _scan_suppressions(self.lines)
+        #: Suppression-comment lines that matched at least one finding;
+        #: the driver reports the rest as DRD001 (unused suppression).
+        self.used_suppression_lines: Set[int] = set()
+        #: The whole-program view (every context in this lint run plus a
+        #: shared analysis cache); set by the driver, ``None`` when a rule
+        #: is exercised directly against a lone context.
+        self.program: Optional["ProgramContext"] = None
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         """Build a :class:`Finding` anchored at an AST node."""
@@ -95,9 +108,14 @@ class ModuleContext:
         )
 
     def suppressed(self, finding: Finding) -> bool:
-        """Whether a per-line disable comment covers this finding."""
+        """Whether a per-line disable comment covers this finding.
+
+        A match records the comment's line in ``used_suppression_lines``
+        so the driver can flag leftover suppressions (DRD001).
+        """
         codes = self._suppressions.get(finding.line)
         if codes is not None and (finding.code in codes or "ALL" in codes):
+            self.used_suppression_lines.add(finding.line)
             return True
         # A comment-only line suppresses the statement directly below it.
         above = finding.line - 1
@@ -106,13 +124,31 @@ class ModuleContext:
             if text.startswith("#"):
                 codes = self._suppressions.get(above)
                 if codes is not None and (finding.code in codes or "ALL" in codes):
+                    self.used_suppression_lines.add(above)
                     return True
         return False
 
 
-def _scan_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Per-line suppressed rule codes from ``# dardlint: disable=`` comments."""
+class ProgramContext:
+    """All parsed modules of one lint run, plus a shared analysis cache.
+
+    Interprocedural rules (the RACE/OWN family) need the whole program,
+    not one file; they build their analysis once, stash it under a key in
+    ``cache``, and every later module's ``check()`` reuses it.
+    """
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.contexts: List[ModuleContext] = list(contexts)
+        self.cache: Dict[str, object] = {}
+
+
+def _scan_suppressions(
+    lines: Sequence[str],
+) -> Tuple[Dict[int, Set[str]], Dict[int, int]]:
+    """Per-line suppressed rule codes (and comment columns) from
+    ``# dardlint: disable=`` comments."""
     out: Dict[int, Set[str]] = {}
+    cols: Dict[int, int] = {}
     for number, text in enumerate(lines, start=1):
         match = _SUPPRESS_RE.search(text)
         if match is None:
@@ -120,7 +156,8 @@ def _scan_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
         codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
         if codes:
             out[number] = codes
-    return out
+            cols[number] = match.start() + 1
+    return out, cols
 
 
 class Rule:
@@ -147,6 +184,27 @@ class Rule:
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
+class UnusedSuppressionRule(Rule):
+    """A ``# dardlint: disable=<CODE>`` comment that suppresses nothing.
+
+    Suppressions are the in-tree record that a human audited a real
+    finding; once the finding is gone the comment is stale documentation
+    that silently disarms the rule for whatever lands on that line next.
+    The driver emits DRD001 after all other rules have run (only the
+    driver knows which suppressions matched), so ``check`` yields
+    nothing; the class exists to carry metadata and scope/disable
+    configuration like any other rule.
+    """
+
+    code = "DRD001"
+    name = "unused-suppression"
+    description = "suppression comment matches no finding on its line"
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
 def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not _CODE_RE.match(cls.code):
@@ -157,6 +215,9 @@ def register(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"rule {cls.code} needs a description")
     _REGISTRY[cls.code] = cls
     return cls
+
+
+register(UnusedSuppressionRule)
 
 
 def all_rules() -> List[Type[Rule]]:
@@ -180,6 +241,9 @@ class LintConfig:
     scopes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     exempt: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     disable: Tuple[str, ...] = ()
+    #: Transitional escape hatch (``--allow-unused-suppressions``): keep
+    #: DRD001 registered but skip reporting leftover disable comments.
+    allow_unused_suppressions: bool = False
 
     def rule_scope(self, rule: Type[Rule]) -> Tuple[str, ...]:
         """Effective module-prefix scope: pyproject override or the rule's."""
@@ -288,16 +352,61 @@ def _iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
                 yield candidate
 
 
-def run_lint(
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``files_skipped`` counts Python files that were reachable from the
+    given paths but fell outside the configured ``include`` scopes (or
+    matched ``exclude``) — reported so out-of-scope code is visibly
+    skipped rather than silently absent. ``program`` carries the parsed
+    contexts and the interprocedural analysis cache for consumers like
+    ``--parallel-safety-report``.
+    """
+
+    findings: List[Finding]
+    files_scanned: int
+    files_skipped: int
+    program: ProgramContext
+
+
+def _collect_contexts(
+    paths: Sequence[str], config: LintConfig
+) -> Tuple[List[ModuleContext], List[Finding], int]:
+    """Parse every in-scope file; returns contexts, DRD000s, skip count."""
+    contexts: List[ModuleContext] = []
+    parse_findings: List[Finding] = []
+    files_skipped = 0
+    for file_path in _iter_python_files(paths):
+        module = module_name_for(file_path)
+        if not _module_matches(module, config.include) or _module_matches(
+            module, config.exclude
+        ):
+            files_skipped += 1
+            continue
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError, ValueError) as error:
+            parse_findings.append(
+                Finding(str(file_path), 1, 1, "DRD000", f"could not parse: {error}")
+            )
+            continue
+        contexts.append(ModuleContext(file_path, module, source, tree))
+    return contexts, parse_findings, files_skipped
+
+
+def run_lint_result(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     rules: Optional[Sequence[Type[Rule]]] = None,
-) -> Tuple[List[Finding], int]:
-    """Lint files/directories; returns ``(sorted findings, files scanned)``.
+) -> LintResult:
+    """Lint files/directories; the full-fidelity entry point.
 
     Unreadable or syntactically invalid files surface as ``DRD000``
     findings rather than crashing the run — a lint gate must never be
-    dodged by an unparseable file.
+    dodged by an unparseable file. Every in-scope file is parsed before
+    any rule runs so interprocedural rules see the whole program.
     """
     if config is None:
         config = load_config(Path(paths[0]) if paths else None)
@@ -305,31 +414,57 @@ def run_lint(
         cls for cls in (all_rules() if rules is None else list(rules))
         if cls.code not in config.disable
     ]
-    findings: List[Finding] = []
-    files_scanned = 0
-    for file_path in _iter_python_files(paths):
-        module = module_name_for(file_path)
-        if not _module_matches(module, config.include):
-            continue
-        if _module_matches(module, config.exclude):
-            continue
-        files_scanned += 1
-        try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(file_path))
-        except (OSError, SyntaxError, ValueError) as error:
-            findings.append(
-                Finding(str(file_path), 1, 1, "DRD000", f"could not parse: {error}")
-            )
-            continue
-        ctx = ModuleContext(file_path, module, source, tree)
+    contexts, findings, files_skipped = _collect_contexts(paths, config)
+    files_scanned = len(contexts) + len(findings)
+    program = ProgramContext(contexts)
+    drd001 = next(
+        (cls for cls in rule_classes if cls.code == UnusedSuppressionRule.code), None
+    )
+    for ctx in contexts:
+        ctx.program = program
         for cls in rule_classes:
-            if not _module_matches(module, config.rule_scope(cls)):
+            if not _module_matches(ctx.module, config.rule_scope(cls)):
                 continue
-            if _module_matches(module, config.rule_exempt(cls)):
+            if _module_matches(ctx.module, config.rule_exempt(cls)):
                 continue
             for finding in cls().check(ctx):
                 if not ctx.suppressed(finding):
                     findings.append(finding)
+        # Unused-suppression pass: only the driver knows which disable
+        # comments matched a finding, so DRD001 is emitted here rather
+        # than from a check() body.
+        if (
+            drd001 is None
+            or config.allow_unused_suppressions
+            or not _module_matches(ctx.module, config.rule_scope(drd001))
+            or _module_matches(ctx.module, config.rule_exempt(drd001))
+        ):
+            continue
+        for line in sorted(ctx._suppressions):
+            if line in ctx.used_suppression_lines:
+                continue
+            finding = Finding(
+                path=str(ctx.path),
+                line=line,
+                col=ctx._suppression_cols.get(line, 1),
+                code=UnusedSuppressionRule.code,
+                message=(
+                    "suppression comment matches no finding "
+                    f"({', '.join(sorted(ctx._suppressions[line]))}); remove it "
+                    "or pass --allow-unused-suppressions during transitions"
+                ),
+            )
+            if not ctx.suppressed(finding):
+                findings.append(finding)
     findings.sort()
-    return findings, files_scanned
+    return LintResult(findings, files_scanned, files_skipped, program)
+
+
+def run_lint(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> Tuple[List[Finding], int]:
+    """Compatibility wrapper: ``(sorted findings, files scanned)``."""
+    result = run_lint_result(paths, config, rules)
+    return result.findings, result.files_scanned

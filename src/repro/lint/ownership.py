@@ -1,0 +1,288 @@
+"""The ownership registry: who owns each piece of shared simulator state.
+
+One auditable table (`OWNERSHIP`) declaring, for every piece of shared
+mutable simulator state, which module/class owns it, which functions are
+its sanctioned writers, and whether the runtime sanitizer write-barriers
+it during fuzz runs. The parallelism rule family (RACE001-003, OWN001 in
+``rules/parallelism.py``) checks the table statically through the call
+graph; :mod:`repro.validation.sanitizer` asserts the same table
+dynamically. DESIGN.md "Ownership & parallel-safety" is the prose form.
+
+The table exists to make component-parallel control-plane rounds a
+checked contract instead of a convention: a function listed in
+``COMPONENT_SCOPED`` (and everything reachable from it) may only write
+state whose ``writers`` tuple names it, may only consume cross-component
+dirty state through ``MERGE_POINTS``, and may not call the shared
+structure mutators in ``SHARED_MUTATOR_METHODS`` at all. ``BOUNDARIES``
+are the declared exits from a component round — calls into them are not
+traversed (``_request_realloc`` only sets an idempotent coalescing flag
+and schedules the merge, which is commutative across components).
+
+Matching is by attribute/function *name* (the analysis is AST-based), so
+registered attribute names must be unambiguous across the codebase; the
+module asserts uniqueness at import. Deliberately **not** registered:
+
+* ``Network._cap_array`` — the fuzz harness's ``--inject-bug`` corrupts
+  it on purpose; guarding it would make the negative control impossible;
+* ``FlowLinkComponents._size`` / ``FlowStore._free`` — generic names
+  that collide across classes and are only ever touched by their owner;
+* ``MonitorRegistry.mark_links_dirty`` is not a shared mutator: it only
+  appends dirty marks (commutative, order-free), the sanctioned
+  dirty-producer pattern, like ``FlowLinkComponents.attach``/``detach``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "BOUNDARIES",
+    "COMPONENT_SCOPED",
+    "MERGE_POINTS",
+    "OWNERSHIP",
+    "SHARED_MUTATOR_METHODS",
+    "SharedState",
+    "state_by_attr",
+]
+
+#: Functions whose bodies (and transitive callees) form a per-component
+#: round: the incremental refill of one dirty component set, and the
+#: per-monitor slice of the batched Algorithm 1 round.
+COMPONENT_SCOPED: Tuple[str, ...] = ("_refill_dirty", "_schedule_one_arrays")
+
+#: The declared merge points: the only functions through which
+#: cross-component dirty state may be consumed (``consume_dirty`` pops
+#: the dirty-root set; ``scatter_link_loads`` is the ordered accumulation
+#: that merges per-component rates into the persistent load array).
+MERGE_POINTS: Tuple[str, ...] = ("consume_dirty", "scatter_link_loads")
+
+#: Declared exits from a component round; the call-graph traversal stops
+#: here. ``_request_realloc`` is safe to invoke from component-scoped
+#: code because it only sets the idempotent ``_realloc_pending``
+#: coalescing flag — concurrent rounds requesting a reallocation commute.
+BOUNDARIES: Tuple[str, ...] = ("_request_realloc",)
+
+#: Method names whose call sites mutate globally shared structures: the
+#: component-partition epoch rebuild, the event heap, and the monitor
+#: registry's CSR layout. RACE003 flags any call to these from
+#: component-scoped code.
+SHARED_MUTATOR_METHODS: Tuple[str, ...] = (
+    "rebuild",
+    "schedule_at",
+    "schedule_in",
+    "reschedule",
+    "_append_pair",
+    "_reserve",
+    "_refresh",
+    "_compact",
+)
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One registered piece of shared mutable simulator state.
+
+    ``writers`` are bare function names (methods or property setters)
+    allowed to mutate the state — the granularity RACE001 checks inside
+    component-scoped code and the set the runtime sanitizer unlocks
+    write barriers for. ``owner_modules`` are the dotted modules allowed
+    to *create* (rebind) the attribute (OWN001). ``category`` is
+    ``"global"`` (one structure for the whole fabric), ``"partitioned"``
+    (naturally sliced per component/flow/monitor), or ``"dirty"`` (a
+    cross-component invalidation buffer, readable only at merge points —
+    RACE002).
+    """
+
+    name: str
+    attr: str
+    owner_class: str
+    owner_modules: Tuple[str, ...]
+    writers: Tuple[str, ...]
+    category: str
+    runtime_guarded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.category not in ("global", "partitioned", "dirty"):
+            raise ValueError(f"bad category {self.category!r} for {self.name}")
+
+
+#: Modules that may create/rebind FlowStore columns: the store itself
+#: (allocation, growth), the Flow view (the sanctioned per-flow write
+#: path), and the network (settle/refill write columns directly).
+_COLUMN_OWNERS: Tuple[str, ...] = (
+    "repro.simulator.flowstore",
+    "repro.simulator.flows",
+    "repro.simulator.network",
+)
+
+#: Store/view mechanism writers shared by every column: row lifecycle
+#: plus the bind/unbind push/snapshot.
+_COLUMN_MECHANISM: Tuple[str, ...] = (
+    "__init__",
+    "acquire",
+    "release",
+    "_reset_row",
+    "_grow",
+    "bind_store",
+)
+
+
+def _column(attr: str, *writers: str) -> SharedState:
+    return SharedState(
+        name=f"flow-store column {attr}",
+        attr=attr,
+        owner_class="FlowStore",
+        owner_modules=_COLUMN_OWNERS,
+        writers=_COLUMN_MECHANISM + writers,
+        category="partitioned",
+        runtime_guarded=True,
+    )
+
+
+def _network(attr: str, category: str, guarded: bool, *writers: str) -> SharedState:
+    return SharedState(
+        name=f"network per-link array {attr}" if guarded else f"network {attr}",
+        attr=attr,
+        owner_class="Network",
+        owner_modules=("repro.simulator.network",),
+        writers=("__init__",) + writers,
+        category=category,
+        runtime_guarded=guarded,
+    )
+
+
+def _owned(
+    cls: str, module: str, attr: str, category: str, *writers: str
+) -> SharedState:
+    return SharedState(
+        name=f"{cls}.{attr}",
+        attr=attr,
+        owner_class=cls,
+        owner_modules=(module,),
+        writers=("__init__",) + writers,
+        category=category,
+    )
+
+
+#: The table. Writer names are audited against the real classes by
+#: ``tests/test_parallel_safety.py`` (ownership-registry completeness),
+#: so entries cannot silently rot as the simulator evolves.
+OWNERSHIP: Tuple[SharedState, ...] = (
+    # -- Network per-link arrays (global fabric state) ---------------------
+    _network("_load_array", "global", True, "_refill_full", "_refill_dirty"),
+    _network("_util_array", "global", True, "_refill_full", "_refill_dirty"),
+    _network("_peak_util_array", "global", True, "_refill_full", "_refill_dirty"),
+    _network("_total_array", "global", True, "_adjust_link_counts"),
+    _network("_eleph_array", "global", True, "_adjust_link_counts"),
+    _network("_failed_mask", "global", True, "fail_link", "restore_link"),
+    _network(
+        "_retired_link_ids",
+        "dirty",
+        False,
+        "reroute_flow",
+        "_on_completion_event",
+        "_refill_full",
+        "_refill_dirty",
+    ),
+    # -- FlowStore columns (partitioned per-flow hot state) ----------------
+    _column("flow_id"),
+    _column(
+        "rate_bps", "_refill_full", "_refill_dirty", "_scatter_store_rates",
+        "reroute_flow",
+    ),
+    _column("goodput_factor", "reorder_retx_fraction", "_refill_full", "_refill_dirty"),
+    _column("retx_fraction", "reorder_retx_fraction", "_refill_full", "_refill_dirty"),
+    _column(
+        "remaining_bytes", "_settle_store", "_settle_reference", "reroute_flow",
+    ),
+    _column("start_time"),
+    _column("end_time", "_on_completion_event"),
+    _column(
+        "retransmitted_bytes", "_settle_store", "_settle_reference", "reroute_flow",
+    ),
+    _column("elephant", "is_elephant"),
+    _column("live"),
+    _column("monitored_path", "monitored_path_index"),
+    # "component_id" here is the Flow property setter: every caller
+    # below funnels through it, and the runtime sanitizer wraps it.
+    _column("component_id", "component_id", "start_flow", "reroute_flow", "rebuild"),
+    _column("path_switches", "reroute_flow"),
+    # -- FlowLinkComponents union-find (the component partition itself) ----
+    _owned(
+        "FlowLinkComponents", "repro.simulator.components", "_parent",
+        "partitioned", "find", "_union", "rebuild",
+    ),
+    _owned(
+        "FlowLinkComponents", "repro.simulator.components", "_flow_sets",
+        "partitioned", "_union", "_attach_links", "detach", "rebuild",
+    ),
+    _owned(
+        "FlowLinkComponents", "repro.simulator.components", "_dirty",
+        "dirty", "attach", "detach", "_union", "consume_dirty", "rebuild",
+    ),
+    _owned(
+        "FlowLinkComponents", "repro.simulator.components", "departures",
+        "partitioned", "detach", "rebuild",
+    ),
+    # -- MonitorRegistry CSR (global control-plane cache) ------------------
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_indices",
+        "global", "_append_pair", "_reserve",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_indptr",
+        "global", "_append_pair", "_reserve",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_row_band",
+        "global", "_reserve", "_refresh",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_row_eleph",
+        "global", "_reserve", "_refresh",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_link_rows",
+        "global", "_append_pair", "_compact",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_pending_links",
+        "dirty", "mark_links_dirty", "_compact", "_refresh",
+    ),
+    _owned(
+        "MonitorRegistry", "repro.core.registry", "_pending_rows",
+        "dirty", "_append_pair", "_compact", "_refresh",
+    ),
+    # -- EventEngine heap (global event order; see also API002) ------------
+    _owned(
+        "EventEngine", "repro.simulator.engine", "_heap",
+        "global", "schedule_at", "run_until",
+    ),
+    _owned("EventEngine", "repro.simulator.engine", "_seq", "global"),
+    _owned(
+        "EventEngine", "repro.simulator.engine", "_live_events",
+        "global", "schedule_at", "cancel", "run_until",
+    ),
+    # -- PathMonitor per-pair state caches (partitioned per monitor) -------
+    _owned(
+        "PathMonitor", "repro.core.monitor", "state_band",
+        "partitioned", "refresh", "path_states",
+    ),
+    _owned(
+        "PathMonitor", "repro.core.monitor", "state_eleph",
+        "partitioned", "refresh", "path_states", "note_shift",
+    ),
+)
+
+
+def state_by_attr() -> Dict[str, SharedState]:
+    """The table keyed by attribute name (asserted unique at import)."""
+    return dict(_BY_ATTR)
+
+
+_BY_ATTR: Dict[str, SharedState] = {}
+for _entry in OWNERSHIP:
+    if _entry.attr in _BY_ATTR:
+        raise ValueError(f"ambiguous registered attribute {_entry.attr!r}")
+    _BY_ATTR[_entry.attr] = _entry

@@ -7,9 +7,10 @@ tool's contract and covered by tests:
 
     {
       "tool": "dardlint",
-      "schema_version": 1,
+      "schema_version": 2,
       "ok": false,
       "files_scanned": 97,
+      "files_skipped": 3,
       "rules": [{"code": "DET001", "name": "...", "description": "..."}],
       "counts": {"DET001": 2},
       "findings": [
@@ -17,6 +18,11 @@ tool's contract and covered by tests:
          "code": "DET001", "message": "..."}
       ]
     }
+
+Schema version 2 added the interprocedural rule family (RACE001-003,
+OWN001, DRD001) to ``rules`` and the ``files_skipped`` count — files
+reachable from the linted paths but outside the configured ``include``
+scopes, previously silently absent from the document.
 """
 
 from __future__ import annotations
@@ -28,23 +34,28 @@ from repro.lint.engine import Finding, all_rules
 
 __all__ = ["render_json", "render_text", "to_document"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
-def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+def render_text(
+    findings: Sequence[Finding], files_scanned: int, files_skipped: int = 0
+) -> str:
     """clang-style ``path:line:col: CODE message`` lines plus a summary."""
     lines = [finding.render() for finding in findings]
     noun = "file" if files_scanned == 1 else "files"
+    skipped = f", {files_skipped} out-of-scope skipped" if files_skipped else ""
     if findings:
         lines.append(
-            f"dardlint: {len(findings)} finding(s) in {files_scanned} {noun}"
+            f"dardlint: {len(findings)} finding(s) in {files_scanned} {noun}{skipped}"
         )
     else:
-        lines.append(f"dardlint: clean ({files_scanned} {noun} scanned)")
+        lines.append(f"dardlint: clean ({files_scanned} {noun} scanned{skipped})")
     return "\n".join(lines)
 
 
-def to_document(findings: Sequence[Finding], files_scanned: int) -> dict:
+def to_document(
+    findings: Sequence[Finding], files_scanned: int, files_skipped: int = 0
+) -> dict:
     """The JSON-schema document as a plain dict."""
     counts: Dict[str, int] = {}
     for finding in findings:
@@ -58,6 +69,7 @@ def to_document(findings: Sequence[Finding], files_scanned: int) -> dict:
         "schema_version": SCHEMA_VERSION,
         "ok": not findings,
         "files_scanned": files_scanned,
+        "files_skipped": files_skipped,
         "rules": rules,
         "counts": counts,
         "findings": [
@@ -73,6 +85,10 @@ def to_document(findings: Sequence[Finding], files_scanned: int) -> dict:
     }
 
 
-def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+def render_json(
+    findings: Sequence[Finding], files_scanned: int, files_skipped: int = 0
+) -> str:
     """The JSON-schema document serialized with stable key order."""
-    return json.dumps(to_document(findings, files_scanned), indent=2, sort_keys=True)
+    return json.dumps(
+        to_document(findings, files_scanned, files_skipped), indent=2, sort_keys=True
+    )

@@ -93,7 +93,9 @@ class PredictiveElephantDetector:
         self.max_samples = int(max_samples)
         self.min_samples = int(min_samples)
         self.ewma_alpha = float(ewma_alpha)
-        self.promote_age_s = None if promote_age_s is None else float(promote_age_s)
+        self.promote_age_s: float | None = (
+            None if promote_age_s is None else float(promote_age_s)
+        )
         self.network: "Network" | None = None
         self._tracked: Dict[int, _TrackState] = {}
         self._stat_flows_seen = 0
@@ -110,24 +112,34 @@ class PredictiveElephantDetector:
         if self.promote_age_s is None:
             self.promote_age_s = float(network.elephant_age_s)
 
-    def on_flow_started(self, flow: "Flow") -> None:
-        """Arm sampling and the age fallback for a freshly started flow."""
+    def _bound_network(self) -> "Network":
         network = self.network
         if network is None:
             raise SimulationError("detector used before attach()")
+        return network
+
+    def _promote_age(self) -> float:
+        age = self.promote_age_s
+        if age is None:
+            raise SimulationError("detector used before attach()")
+        return age
+
+    def on_flow_started(self, flow: "Flow") -> None:
+        """Arm sampling and the age fallback for a freshly started flow."""
+        network = self._bound_network()
         self._stat_flows_seen += 1
         self._tracked[flow.flow_id] = _TrackState()
         network.engine.schedule_in(
             self.sample_interval_s, lambda fid=flow.flow_id: self._sample(fid)
         )
         network.engine.schedule_in(
-            self.promote_age_s, lambda fid=flow.flow_id: self._age_fallback(fid)
+            self._promote_age(), lambda fid=flow.flow_id: self._age_fallback(fid)
         )
 
     # -- sampling ---------------------------------------------------------------
 
     def _sample(self, flow_id: int) -> None:
-        network = self.network
+        network = self._bound_network()
         flow = network.flows.get(flow_id)
         state = self._tracked.get(flow_id)
         if flow is None or state is None or flow.is_elephant:
@@ -150,7 +162,8 @@ class PredictiveElephantDetector:
         self._stat_samples += 1
         if (
             state.samples >= self.min_samples
-            and self._projected_lifetime_s(flow, state.ewma_bps) >= self.promote_age_s
+            and self._projected_lifetime_s(flow, state.ewma_bps)
+            >= self._promote_age()
         ):
             self._promote(flow, early=True)
             return
@@ -164,26 +177,27 @@ class PredictiveElephantDetector:
             del self._tracked[flow_id]
 
     def _projected_lifetime_s(self, flow: "Flow", ewma_bps: float) -> float:
-        age = self.network.now - flow.start_time
+        age = self._bound_network().now - flow.start_time
         if ewma_bps <= 0.0:
             return float("inf")
         return age + flow.remaining_bytes * 8.0 / ewma_bps
 
     def _age_fallback(self, flow_id: int) -> None:
         self._tracked.pop(flow_id, None)
-        flow = self.network.flows.get(flow_id)
+        flow = self._bound_network().flows.get(flow_id)
         if flow is None or flow.is_elephant:
             return
         self._promote(flow, early=False)
 
     def _promote(self, flow: "Flow", early: bool) -> None:
+        network = self._bound_network()
         self._tracked.pop(flow.flow_id, None)
         if early:
             self._stat_early += 1
         else:
             self._stat_fallback += 1
-        self._detection_age_sum_s += self.network.now - flow.start_time
-        self.network._promote_elephant(flow.flow_id)
+        self._detection_age_sum_s += network.now - flow.start_time
+        network._promote_elephant(flow.flow_id)
 
     # -- telemetry ---------------------------------------------------------------
 

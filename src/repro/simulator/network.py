@@ -1046,6 +1046,18 @@ class Network:
             self._refill_full()
         else:
             self._refill_dirty()
+            # Departure epoch: the union structure only over-approximates
+            # across detaches; rebuild before stale merges erode the
+            # locality win. Lives here, not in _refill_dirty: the rebuild
+            # mutates the shared partition, and the refill itself must stay
+            # component-pure (RACE003) for component-parallel rounds.
+            comps = self._components
+            if comps.departures >= min(
+                _EPOCH_MAX_DEPARTURES,
+                max(_EPOCH_MIN_DEPARTURES, len(self.flows) // 2),
+            ):
+                comps.rebuild(self.flows.values())
+                self._stat_component_rebuilds += 1
         self._stat_realloc_calls += 1
         self._stat_realloc_time_s += perf_counter() - started  # dardlint: disable=DET002
         self._schedule_next_completion()
@@ -1188,22 +1200,20 @@ class Network:
             self._stat_realloc_subset += 1
         self._stat_flows_rerated += len(dirty_flows)
         self._stat_flows_preserved += len(flows) - len(dirty_flows)
-        # Departure epoch: the union structure only over-approximates across
-        # detaches; rebuild before stale merges erode the locality win.
-        if comps.departures >= min(
-            _EPOCH_MAX_DEPARTURES, max(_EPOCH_MIN_DEPARTURES, len(flows) // 2)
-        ):
-            comps.rebuild(flows.values())
-            self._stat_component_rebuilds += 1
+        # (The departure-epoch rebuild used to live here; it moved to
+        # _reallocate so this method stays component-pure — see the
+        # ownership table in repro.lint.ownership.)
 
     def _schedule_next_completion(self) -> None:
         old_handle = self._completion_handle
         self._completion_handle = None
+        # perf_counter feeds perf_stats() telemetry only, never sim state.
         started = perf_counter()  # dardlint: disable=DET002
         if self._settle_vectorized:
             soonest = self._next_completion_eta_store()
         else:
             soonest = self._next_completion_eta_reference()
+        # Telemetry end-stamp for the line above; same audit rationale.
         self._stat_eta_time_s += perf_counter() - started  # dardlint: disable=DET002
         if soonest < float("inf"):
             self._completion_handle, preserved = self.engine.reschedule(

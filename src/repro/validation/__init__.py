@@ -64,6 +64,7 @@ from repro.validation.fuzz import (
     run_fuzz,
     shrink_config,
 )
+from repro.validation.sanitizer import OwnershipSanitizer
 from repro.validation.snapshot import (
     DEFAULT_GOLDEN_PATH,
     GOLDEN_SCENARIOS,
@@ -83,6 +84,7 @@ __all__ = [
     "FuzzReport",
     "GOLDEN_SCENARIOS",
     "InvariantChecker",
+    "OwnershipSanitizer",
     "StormOracle",
     "SwitchTableSnapshot",
     "allocator_equivalence_suite",

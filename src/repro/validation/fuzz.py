@@ -187,6 +187,7 @@ def run_case(
     config: ScenarioConfig,
     corrupt: Optional[Callable] = None,
     every_n_events: int = DEFAULT_EVERY_N_EVENTS,
+    sanitize: bool = False,
 ) -> ScenarioResult:
     """Run one scenario under the full validation battery.
 
@@ -226,6 +227,7 @@ def run_case(
     )
 
     checker_box: List[InvariantChecker] = []
+    sanitizer_box: List = []
     storm_oracle = StormOracle()
 
     def instrument(network) -> None:
@@ -243,9 +245,24 @@ def run_case(
         checker.checks.append(check_flowstore_balance)
         checker.attach()
         checker_box.append(checker)
+        if sanitize:
+            # Primary run only: the reference twins below stay
+            # uninstrumented, so their bit-exact comparisons double as
+            # the proof that the sanitizer changes nothing. Installed
+            # before the storm oracle attaches: the oracle captures
+            # bound methods (start_flow, reroute_flow), and those must
+            # bind the sanitizer's class-level wrappers, not bypass
+            # them.
+            from repro.validation.sanitizer import OwnershipSanitizer
+
+            sanitizer_box.append(OwnershipSanitizer(network).install())
         storm_oracle.attach(network)
 
-    result = run_scenario(config, instrument=instrument)
+    try:
+        result = run_scenario(config, instrument=instrument)
+    finally:
+        for sanitizer in sanitizer_box:
+            sanitizer.uninstall()
     if checker_box:
         checker_box[0].run_checks()
         checker_box[0].detach()
@@ -325,11 +342,16 @@ class FuzzReport:
 
 
 def _case_fails(
-    config: ScenarioConfig, corrupt: Optional[Callable], every_n_events: int
+    config: ScenarioConfig,
+    corrupt: Optional[Callable],
+    every_n_events: int,
+    sanitize: bool = False,
 ) -> Optional[str]:
     """Run a case; the one-line failure description, or None if it passes."""
     try:
-        run_case(config, corrupt=corrupt, every_n_events=every_n_events)
+        run_case(
+            config, corrupt=corrupt, every_n_events=every_n_events, sanitize=sanitize
+        )
         return None
     except ReproError as error:
         return f"{type(error).__name__}: {error}"
@@ -407,6 +429,7 @@ def run_fuzz(
     every_n_events: int = DEFAULT_EVERY_N_EVENTS,
     shrink_failures: int = 3,
     progress: Optional[Callable[[str], None]] = None,
+    sanitize: bool = False,
 ) -> FuzzReport:
     """Sweep seeds (and/or a wall-clock budget) through the validation battery.
 
@@ -433,14 +456,15 @@ def run_fuzz(
         ):
             break
         config = random_scenario(seed)
-        error = _case_fails(config, corrupt, every_n_events)
+        error = _case_fails(config, corrupt, every_n_events, sanitize)
         report.cases += 1
         if error is not None:
             failure = FuzzFailure(seed=seed, error=error, config=config)
             if len(report.failures) < shrink_failures:
                 failure.shrunk, failure.shrink_runs = shrink_config(
                     config,
-                    lambda c: _case_fails(c, corrupt, every_n_events) is not None,
+                    lambda c: _case_fails(c, corrupt, every_n_events, sanitize)
+                    is not None,
                 )
             report.failures.append(failure)
             if progress is not None:

@@ -1,0 +1,12 @@
+"""OWN001 bad fixture: shared state created outside its owner module.
+
+``_row_band`` is a MonitorRegistry cache owned by ``repro.core.registry``;
+rebinding it to a fresh array from simulator code bypasses the ownership
+table (and any runtime write barrier on the old object).
+"""
+
+import numpy as np
+
+
+def hijack_band_cache(registry):
+    registry._row_band = np.zeros(4)

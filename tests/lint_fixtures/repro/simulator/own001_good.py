@@ -1,0 +1,6 @@
+"""OWN001 good fixture: shared state resized through the owner's API."""
+
+
+def resize_band_cache(registry, capacity):
+    """``_reserve`` is the owner-side writer that reallocates the caches."""
+    registry._reserve(capacity)

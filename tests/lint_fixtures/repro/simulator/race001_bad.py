@@ -1,0 +1,16 @@
+"""RACE001 bad fixture: cross-owner write inside a component round.
+
+``_refill_dirty`` is a component-scoped root; ``_total_array`` is owned
+by Network with writers ``__init__``/``_adjust_link_counts`` only.
+"""
+
+
+class RoundRunner:
+    """Minimal shape for the rule: only the names matter."""
+
+    def __init__(self, num_links):
+        self._total_array = [0] * num_links
+
+    def _refill_dirty(self, link_ids):
+        for link_id in link_ids:
+            self._total_array[link_id] += 1

@@ -1,0 +1,16 @@
+"""RACE001 good fixture: a component round writing state it owns.
+
+``_load_array`` names ``_refill_dirty`` in its declared writers, so the
+identical write shape is sanctioned.
+"""
+
+
+class RoundKeeper:
+    """Minimal shape for the rule: only the names matter."""
+
+    def __init__(self, num_links):
+        self._load_array = [0.0] * num_links
+
+    def _refill_dirty(self, link_ids):
+        for link_id in link_ids:
+            self._load_array[link_id] = 0.0

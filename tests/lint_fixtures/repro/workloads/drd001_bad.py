@@ -1,0 +1,6 @@
+"""DRD001 bad fixture: a suppression comment that suppresses nothing."""
+
+
+def scale_rates(values):
+    """No DET002 fires here, so the disable comment is dead weight."""
+    return [value * 2.0 for value in values]  # dardlint: disable=DET002

@@ -1,0 +1,12 @@
+"""DRD001 good fixture: the suppression matches a real finding.
+
+The wall-clock read below genuinely fires DET002; the audited disable
+comment is therefore *used* and DRD001 stays quiet.
+"""
+
+import time
+
+
+def stamp_log_line(message):
+    # Wall-clock is operator-facing log text only, never simulation state.
+    return f"{time.time():.0f} {message}"  # dardlint: disable=DET002

@@ -35,9 +35,14 @@ REQUIRED_RULES = [
     "DET002",
     "DET003",
     "DET004",
+    "DRD001",
     "EXC001",
+    "OWN001",
     "PERF001",
     "PERF002",
+    "RACE001",
+    "RACE002",
+    "RACE003",
 ]
 
 #: rule code -> fixture file stem prefix (bad/good suffixed below).
@@ -46,11 +51,16 @@ FIXTURE_FILES = {
     "DET002": "repro/workloads/det002",
     "DET003": "repro/simulator/det003",
     "DET004": "repro/validation/det004",
+    "DRD001": "repro/workloads/drd001",
     "PERF001": "repro/simulator/perf001",
     "PERF002": "repro/simulator/perf002",
     "API001": "repro/simulator/api001",
     "API002": "repro/simulator/api002",
     "EXC001": "repro/validation/exc001",
+    "OWN001": "repro/simulator/own001",
+    "RACE001": "repro/simulator/race001",
+    "RACE002": "repro/simulator/race002",
+    "RACE003": "repro/simulator/race003",
 }
 
 
@@ -183,9 +193,10 @@ class TestReporting:
         findings, files_scanned = run_lint([str(FIXTURES)], LintConfig())
         document = json.loads(render_json(findings, files_scanned))
         assert document["tool"] == "dardlint"
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         assert document["ok"] is False
         assert document["files_scanned"] == files_scanned
+        assert document["files_skipped"] == 0
         assert {rule["code"] for rule in document["rules"]} >= set(REQUIRED_RULES)
         assert sum(document["counts"].values()) == len(findings)
         for entry in document["findings"]:

@@ -5,34 +5,73 @@ network, and RNG streams from a picklable :class:`ScenarioConfig` — so a
 sweep can use every core. Results are returned in deterministic grid
 order regardless of completion order, and each scenario is exactly as
 reproducible as under the serial runner.
+
+Two axes of parallelism compose here. This module fans *scenarios*
+across worker processes; ``repro.simulator.parallel`` fans the work
+*inside* one scenario (component-parallel reallocation) across a
+backend. ``parallel_backend``/``parallel_workers`` pass the intra-
+scenario backend through to every scenario's network, so a grid sweep
+can run, say, process-per-scenario with a threads backend inside each —
+results stay bit-identical either way (the deterministic merge
+contract).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import itertools
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 from repro.analysis.sweep import _apply_override
+from repro.simulator.parallel import resolve_workers
+
+
+def _with_intra_backend(
+    config: ScenarioConfig,
+    parallel_backend: Optional[str],
+    parallel_workers: Optional[int],
+) -> ScenarioConfig:
+    """``config`` with the intra-scenario backend injected (no-op if None)."""
+    if parallel_backend is None:
+        return config
+    params = {**config.network_params, "parallel_backend": parallel_backend}
+    if parallel_workers is not None:
+        params["parallel_workers"] = parallel_workers
+    return dataclasses.replace(config, network_params=params)
 
 
 def run_scenarios_parallel(
     configs: Sequence[ScenarioConfig],
     max_workers: Optional[int] = None,
+    parallel_backend: Optional[str] = None,
+    parallel_workers: Optional[int] = None,
 ) -> List[ScenarioResult]:
     """Run many scenarios across processes; results in input order.
 
-    ``max_workers`` defaults to ``os.cpu_count() - 1`` (at least 1). With
-    one config or one worker the serial path is used — no process-pool
-    overhead, identical results.
+    ``max_workers`` defaults to one less than the CPUs this process may
+    actually use (scheduler affinity via
+    :func:`repro.simulator.parallel.resolve_workers`, not the machine's
+    raw core count — in a container pinned to 4 of 64 cores the default
+    is 3), at least 1. With one config or one worker the serial path is
+    used — no process-pool overhead, identical results. An empty
+    ``configs`` returns ``[]`` before any pool is created.
+
+    ``parallel_backend``/``parallel_workers`` select the intra-scenario
+    execution backend for every scenario's network (see module
+    docstring); ``None`` leaves each config's own ``network_params``
+    untouched.
     """
+    configs = [
+        _with_intra_backend(config, parallel_backend, parallel_workers)
+        for config in configs
+    ]
     if not configs:
         return []
     if max_workers is None:
-        max_workers = max(1, (os.cpu_count() or 2) - 1)
+        max_workers = max(1, resolve_workers(None) - 1)
     if max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
     if max_workers == 1 or len(configs) == 1:
@@ -49,13 +88,18 @@ def parallel_sweep(
     base: ScenarioConfig,
     grid: Dict[str, Sequence],
     max_workers: Optional[int] = None,
+    parallel_backend: Optional[str] = None,
+    parallel_workers: Optional[int] = None,
 ) -> List[Tuple[Dict[str, object], ScenarioResult]]:
     """The parallel counterpart of :func:`repro.analysis.sweep.sweep`.
 
     Same grid semantics and the same deterministic ordering; only the
-    execution is concurrent.
+    execution is concurrent. ``parallel_backend``/``parallel_workers``
+    pass the intra-scenario backend through to every grid point (and to
+    the single base run when ``grid`` is empty).
     """
     if not grid:
+        base = _with_intra_backend(base, parallel_backend, parallel_workers)
         return [({}, run_scenario(base))]
     keys = sorted(grid)
     overrides_list: List[Dict[str, object]] = []
@@ -67,5 +111,10 @@ def parallel_sweep(
             config = _apply_override(config, key, value)
         overrides_list.append(overrides)
         configs.append(config)
-    results = run_scenarios_parallel(configs, max_workers=max_workers)
+    results = run_scenarios_parallel(
+        configs,
+        max_workers=max_workers,
+        parallel_backend=parallel_backend,
+        parallel_workers=parallel_workers,
+    )
     return list(zip(overrides_list, results))

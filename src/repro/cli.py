@@ -118,6 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "static RACE verdicts dynamically (results stay bit-identical)",
     )
     validate.add_argument(
+        "--fuzz-backend", choices=("serial", "threads", "processes"), default=None,
+        help="pin every fuzz case to one parallel execution backend "
+             "instead of the generator's weighted draw (nightly CI pins "
+             "threads so every seed dual-runs the merge-contract oracle)",
+    )
+    validate.add_argument(
         "--oracle-cases", type=int, default=50,
         help="random instances for the allocator differential oracle",
     )
@@ -401,6 +407,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         compare_goldens_incremental,
         compare_goldens_settle_reference,
         controlplane_equivalence_suite,
+        parallel_equivalence_suite,
         run_fluid_vs_packet,
         run_fuzz,
         settle_equivalence_suite,
@@ -441,6 +448,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         except ReproError as error:
             failed = True
             print(f"oracle: settle equivalence FAILED\n  {error}")
+
+        print("oracle: parallel backend vs serial equivalence ...")
+        try:
+            for row in parallel_equivalence_suite():
+                print(
+                    f"  {row['backend']:9s} x{row['workers']} "
+                    f"{row['pattern']:14s} flows={row['flows']} "
+                    f"shifts={row['shifts']} (merge deterministic)"
+                )
+            print("oracle: parallel equivalence OK")
+        except ReproError as error:
+            failed = True
+            print(f"oracle: parallel equivalence FAILED\n  {error}")
 
         print("oracle: fluid vs packet FCT agreement ...")
         try:
@@ -504,6 +524,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             inject_bug=args.inject_bug,
             progress=print,
             sanitize=args.sanitize,
+            force_backend=args.fuzz_backend,
         )
         print(report.render())
         if args.inject_bug:

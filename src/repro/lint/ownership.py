@@ -47,9 +47,20 @@ __all__ = [
 ]
 
 #: Functions whose bodies (and transitive callees) form a per-component
-#: round: the incremental refill of one dirty component set, and the
-#: per-monitor slice of the batched Algorithm 1 round.
-COMPONENT_SCOPED: Tuple[str, ...] = ("_refill_dirty", "_schedule_one_arrays")
+#: round: the incremental refill of one dirty component set, the
+#: per-monitor slice of the batched Algorithm 1 round, and the parallel
+#: backend's worker entry points (``repro.simulator.parallel``) — the
+#: code that actually executes concurrently on pool workers, one demand
+#: bucket per task, so its closure must be provably free of shared-state
+#: writes. ``batch_path_state_arrays`` is the control-plane chunk task
+#: the backend fans across threads (a pure gather over network arrays).
+COMPONENT_SCOPED: Tuple[str, ...] = (
+    "_refill_dirty",
+    "_schedule_one_arrays",
+    "_fill_bucket_worker",
+    "_fill_bucket_worker_shm",
+    "batch_path_state_arrays",
+)
 
 #: The declared merge points: the only functions through which
 #: cross-component dirty state may be consumed (``consume_dirty`` pops

@@ -67,6 +67,18 @@ class FlowLinkComponents:
             parent[link_id], link_id = root, parent[link_id]
         return root
 
+    def find_roots(self, link_ids: Iterable[int]) -> List[int]:
+        """Component root per link id, in order (path-compressing).
+
+        The parallel backend's partition step: one representative link per
+        demand in, one root per demand out — demands sharing a root must
+        ride the same worker bucket so every link's accumulation order
+        stays serial (see ``repro.simulator.parallel``). The union
+        structure may over-approximate after departures; over-merged roots
+        just make buckets coarser, never incorrect.
+        """
+        return [self.find(int(link_id)) for link_id in link_ids]
+
     def _union(self, a: int, b: int) -> int:
         """Merge two distinct roots; returns the surviving root.
 

@@ -192,9 +192,22 @@ def _progressive_fill_tail(
     no O(L) array passes — cheaper than numpy dispatch at this regime's
     one-demand-per-round granularity.
 
-    The arithmetic (share division, member subtraction order, end-of-round
-    clamp to zero) exactly mirrors one-link rounds of the vectorized loop,
-    so the handoff does not perturb the allocation.
+    Each round pops a verified-fresh bottleneck, then drains every other
+    link whose *refreshed* share ties it exactly (a popped key <= the
+    round share is only a lower bound; the refresh either proves the tie
+    or re-pushes). The whole tie batch freezes before any capacity is
+    subtracted, members in ascending demand order — the same tie set, the
+    same freeze values, and the same subtraction sequence as one round of
+    the vectorized loop. That exactness is load-bearing beyond the
+    handoff being seamless: it makes the allocation invariant to how
+    demands are grouped into fills (combined, per-dirty-subset, or the
+    parallel backend's per-bucket fills), because a tie spanning several
+    components resolves to the identical floats no matter which fill
+    processes each side. Sequential tie handling here — freeze one link,
+    subtract, recompute the next tied link's share — perturbs the tied
+    partners by an ULP through the recomputed division, and *when* ties
+    reach the tail depends on global round structure, so the perturbation
+    would differ between a combined fill and its decomposition.
     """
     rem = remaining.tolist()
     lw = live_weight.tolist()
@@ -219,12 +232,38 @@ def _progressive_fill_tail(
         if current > share:
             heapq.heappush(heap, (current, b))  # stale key; retry with fresh
             continue
+        # Drain the exact tie batch: every remaining key <= current is a
+        # candidate (true shares never sit below their keys), and the
+        # refresh sorts each into "ties exactly" or "actually higher".
+        tied = [b]
+        while heap and heap[0][0] <= current:
+            _, other = heapq.heappop(heap)
+            if lw[other] <= _EPSILON:
+                continue
+            refreshed = rem[other] / lw[other]
+            if refreshed == current:
+                tied.append(other)
+            else:
+                heapq.heappush(heap, (refreshed, other))
         if current < 0.0:
             current = 0.0
         iterations += 1
-        for j in members_flat[members_ptr[b] : members_ptr[b + 1]]:
-            if not act[j]:
-                continue
+        if len(tied) > 1:
+            members = sorted(
+                {
+                    j
+                    for link in tied
+                    for j in members_flat[members_ptr[link] : members_ptr[link + 1]]
+                    if act[j]
+                }
+            )
+        else:
+            members = [
+                j
+                for j in members_flat[members_ptr[b] : members_ptr[b + 1]]
+                if act[j]
+            ]
+        for j in members:
             wj = wts[j]
             rate = wj * current
             out[j] = rate
@@ -234,8 +273,9 @@ def _progressive_fill_tail(
                 left = rem[link] - rate
                 rem[link] = left if left > 0.0 else 0.0
                 lw[link] -= wj
-        rem[b] = 0.0
-        lw[b] = 0.0
+        for link in tied:
+            rem[link] = 0.0
+            lw[link] = 0.0
 
     rates[:] = out
     return rates, iterations

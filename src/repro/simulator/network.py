@@ -82,6 +82,12 @@ from repro.simulator.flows import (
 )
 from repro.simulator.flowstore import FlowStore
 from repro.simulator.linkindex import LinkArrayMapping, LinkIndex
+from repro.simulator.parallel import (
+    PARALLEL_BACKENDS,
+    ProcessesBackend,
+    SerialBackend,
+    ThreadsBackend,
+)
 from repro.simulator.maxmin import (
     LinkId,
     link_loads_indexed,
@@ -142,6 +148,8 @@ class Network:
         settle_mode: str = "store",
         elephant_detector: str = "threshold",
         detector_params: Optional[dict] = None,
+        parallel_backend: str = "serial",
+        parallel_workers: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.engine = engine if engine is not None else EventEngine()
@@ -178,6 +186,31 @@ class Network:
             )
         self.settle_mode = settle_mode
         self._settle_vectorized = settle_mode == "store"
+        #: pluggable intra-scenario execution backend (see the
+        #: repro.simulator.parallel module docs): ``"serial"`` runs the
+        #: historical combined fills; ``"threads"``/``"processes"`` fan
+        #: component buckets and control-plane rounds across workers under
+        #: the deterministic merge contract — results stay bit-identical
+        #: to serial, only ``filling_iterations``/``par_*`` telemetry
+        #: differs. Constructed here via the direct constructors so the
+        #: dardlint call graph can narrow the receiver class.
+        if parallel_backend == "serial":
+            if parallel_workers is not None and int(parallel_workers) != 1:
+                raise SimulationError(
+                    "the serial backend is single-worker; got "
+                    f"parallel_workers={parallel_workers}"
+                )
+            self._parallel: SerialBackend = SerialBackend()
+        elif parallel_backend == "threads":
+            self._parallel = ThreadsBackend(parallel_workers)
+        elif parallel_backend == "processes":
+            self._parallel = ProcessesBackend(parallel_workers)
+        else:
+            raise SimulationError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {parallel_backend!r}"
+            )
+        self.parallel_backend = parallel_backend
 
         #: the per-network intern table; all per-link arrays align to it.
         self.link_index = LinkIndex.from_topology(topology)
@@ -289,6 +322,16 @@ class Network:
     @property
     def now(self) -> float:
         return self.engine.now
+
+    @property
+    def parallel(self) -> SerialBackend:
+        """The configured execution backend (see ``repro.simulator.parallel``).
+
+        The control plane fans its batched rounds through this seam; the
+        type is the serial base class, of which the threads/processes
+        backends are drop-in substitutes.
+        """
+        return self._parallel
 
     # -- flow lifecycle -------------------------------------------------------
 
@@ -655,6 +698,18 @@ class Network:
         the ``store_*`` keys from :meth:`FlowStore.stats` (active span,
         capacity, live rows, acquires/revivals/grows/compactions).
 
+        Parallel-backend keys (``par_*``, from the configured execution
+        backend; all zero under ``parallel_backend="serial"`` except
+        ``par_workers``): ``par_workers`` — resolved worker count;
+        ``par_rounds`` / ``par_tasks`` / ``par_fanout_max`` — fills fanned
+        out, bucket tasks dispatched, and the widest single-round fan-out;
+        ``par_nnz`` — link-slot entries routed through fanned fills;
+        ``par_imbalance_max`` — worst max-bucket/mean-bucket nnz ratio;
+        ``par_merge_wait_s`` — wall time from dispatch to merged rates;
+        ``par_cp_rounds`` / ``par_cp_chunks`` — control-plane refreshes
+        chunked across workers and the chunks dispatched (see DESIGN.md
+        "Parallel execution").
+
         Registered ``controlplane_stats_providers`` (the DARD scheduler's
         ``cp_*`` keys — monitor/registry population, batched query rounds,
         vector-decision vs scalar-fallback counts, control-plane wall
@@ -688,6 +743,7 @@ class Network:
             "settle_batches": self._stat_settle_batches,
         }
         stats.update(self.flow_store.stats())
+        stats.update(self._parallel.stats())
         if self.elephant_detector is not None:
             stats.update(self.elephant_detector.stats())
         for provider in self.controlplane_stats_providers:
@@ -1075,8 +1131,14 @@ class Network:
         if n:
             indices, indptr = self._build_csr(component_ids)
             weight_arr = np.asarray(weights, dtype=float)
-            rates, iterations = maxmin_allocate_indexed(
-                indices, indptr, weight_arr, self._cap_array
+            # Parallel backends partition the fill by component (each
+            # demand's root, via its first link id); the serial backend
+            # ignores roots and runs the historical combined fill.
+            roots = None
+            if self._components is not None and self._parallel.workers > 1:
+                roots = self._components.find_roots(indices[indptr[:-1]].tolist())
+            rates, iterations = self._parallel.fill(
+                indices, indptr, weight_arr, self._cap_array, roots
             )
             for (flow, idx), rate in zip(owners, rates):
                 flow.component_rates[idx] = float(rate)
@@ -1151,8 +1213,14 @@ class Network:
             weight_arr = np.asarray(weights, dtype=float)
             touched_links = np.unique(indices)
             sub_indices = np.searchsorted(touched_links, indices)
-            rates, iterations = maxmin_allocate_indexed(
-                sub_indices, indptr, weight_arr, self._cap_array[touched_links]
+            # Roots come from the uncompacted link ids; demands of one
+            # component always share a bucket, so the merged rates are
+            # bit-identical to this round's combined fill (decomposition).
+            roots = None
+            if self._parallel.workers > 1:
+                roots = comps.find_roots(indices[indptr[:-1]].tolist())
+            rates, iterations = self._parallel.fill(
+                sub_indices, indptr, weight_arr, self._cap_array[touched_links], roots
             )
             for (flow, idx), rate in zip(owners, rates):
                 flow.component_rates[idx] = float(rate)

@@ -1,0 +1,463 @@
+"""Intra-scenario parallel execution backends with a deterministic merge.
+
+DARD's premise is *distributed* adaptive routing: per-pair decisions with
+no global coordination. The simulator already proved the numerical half of
+that claim — max-min allocation decomposes bit-exactly across flow-link
+components (DESIGN.md "Component decomposition"), and the PR 8 ownership
+analysis (``dard lint --parallel-safety-report``) certified the component
+closure as write-pure. This module spends those two proofs on wall-clock
+speed: a pluggable backend fans the per-component allocation work and the
+batched control-plane rounds out across workers.
+
+Three backends, selected by ``Network(parallel_backend=...)``:
+
+* ``serial`` — the reference. :meth:`SerialBackend.fill` is a direct call
+  to :func:`~repro.simulator.maxmin.maxmin_allocate_indexed`; nothing else
+  changes, so every existing golden trace is untouched by construction.
+* ``threads`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The per-bucket work is numpy kernels that release the GIL, so threads
+  scale on multi-core hosts with zero serialization cost.
+* ``processes`` — a forked process pool. Bucket inputs ship pickled
+  (compact CSR slices), but results come back through one
+  :mod:`multiprocessing.shared_memory` segment per round: each worker
+  scatters its rates into a disjoint slice of the shared output column —
+  the write regions are exactly the demand partition derived from the
+  component structure — so the parent merges by viewing the segment, with
+  zero result copy-back through the pickle channel.
+
+**The deterministic merge contract.** Results are applied in bucket order,
+and buckets are formed by a pure function of the round's demand structure
+(:func:`partition_demands`: component groups, largest-nnz first with root
+id as the tie-break, greedily balanced into the least-loaded bucket).
+Worker completion order never matters: futures are gathered in submission
+order, and each bucket writes a disjoint slice of the demand axis, so the
+merged rate vector is positionally identical to the serial fill. Within a bucket, demands keep their global relative order, so each
+link's subtraction-accumulation order inside ``maxmin_allocate_indexed``
+and ``scatter_link_loads`` is byte-for-byte the serial order (a link's
+demands all live in one component, hence one bucket). The dual-run oracle
+(:func:`~repro.validation.oracles.check_parallel_equivalence`) and the
+fuzzer enforce the contract end to end: records, shift journals, and
+golden traces are bit-identical to serial for every backend and worker
+count. Only ``filling_iterations`` differs (per-bucket fills count
+symmetric cross-bucket ties as separate rounds — the same telemetry-only
+exemption the incremental oracle already makes).
+
+Pools are process-global, keyed by (kind, worker count), created lazily
+and torn down at interpreter exit: fuzzing churns through thousands of
+short-lived ``Network`` objects and must not leak a pool per network.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.simulator.maxmin import maxmin_allocate_indexed
+
+__all__ = [
+    "PARALLEL_BACKENDS",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "make_backend",
+    "partition_demands",
+    "resolve_workers",
+]
+
+#: the valid ``Network(parallel_backend=...)`` spellings.
+PARALLEL_BACKENDS = ("serial", "threads", "processes")
+
+#: don't fan a fill out unless the round carries at least this many
+#: link-slot entries — below it, task dispatch costs more than the fill.
+#: Structural (data-dependent, never timing-dependent), so the same rounds
+#: fan out on every machine and ``par_*`` telemetry is deterministic.
+_MIN_FANOUT_NNZ = 256
+
+#: minimum dirty registry rows before a control-plane round is chunked.
+MIN_CP_FANOUT_ROWS = 512
+
+
+def resolve_workers(requested: Optional[int]) -> int:
+    """Worker count: the request, else the CPUs this process may use.
+
+    Prefers the scheduling affinity mask (cgroup/taskset aware) over the
+    raw core count: a container pinned to 2 of 64 cores should get 2
+    workers, not 64. ``process_cpu_count`` (3.13+) is the same signal;
+    ``os.cpu_count`` is the last resort.
+    """
+    if requested is not None:
+        workers = int(requested)
+        if workers < 1:
+            raise SimulationError(f"parallel_workers must be >= 1, got {requested}")
+        return workers
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:  # pragma: no cover - 3.13+
+        return max(1, process_cpu_count() or 1)
+    return max(1, os.cpu_count() or 1)
+
+
+def partition_demands(
+    roots: Sequence[int], indptr: np.ndarray, max_buckets: int
+) -> List[np.ndarray]:
+    """Deterministically partition demand positions into balanced buckets.
+
+    ``roots[j]`` is the component root of demand ``j``; demands of one
+    component always land in one bucket (the correctness requirement: a
+    link's demands must stay together so its accumulation order is the
+    serial order). Groups are balanced greedily by nnz, largest first,
+    into the least-loaded bucket (lowest index on ties) — a pure function
+    of ``(roots, indptr, max_buckets)``, so every machine and every run
+    builds the same buckets. Returned buckets are non-empty position
+    arrays, each sorted ascending (preserving global demand order), in
+    bucket-index order.
+    """
+    order: Dict[int, List[int]] = {}
+    for j, root in enumerate(roots):
+        order.setdefault(root, []).append(j)
+    sizes = {
+        root: sum(int(indptr[j + 1] - indptr[j]) for j in js)
+        for root, js in order.items()
+    }
+    # Largest group first; ties broken by root id so the plan is total.
+    groups = sorted(order.items(), key=lambda kv: (-sizes[kv[0]], kv[0]))
+    nbuckets = min(max_buckets, len(groups))
+    buckets: List[List[int]] = [[] for _ in range(nbuckets)]
+    loads = [0] * nbuckets
+    for root, js in groups:
+        b = loads.index(min(loads))
+        buckets[b].extend(js)
+        loads[b] += sizes[root]
+    return [np.asarray(sorted(b), dtype=np.intp) for b in buckets if b]
+
+
+def _bucket_csr(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    positions: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract one bucket's (indices, indptr, weights) sub-CSR.
+
+    ``positions`` is sorted, so the bucket keeps the global demand order
+    and each link's member order is unchanged.
+    """
+    ids = [indices[indptr[j] : indptr[j + 1]] for j in positions.tolist()]
+    sub_indptr = np.zeros(len(ids) + 1, dtype=np.intp)
+    np.cumsum([chunk.size for chunk in ids], out=sub_indptr[1:])
+    sub_indices = np.concatenate(ids) if ids else np.empty(0, dtype=indices.dtype)
+    return sub_indices, sub_indptr, weights[positions]
+
+
+def _fill_bucket_worker(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    capacities: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """One bucket's water-fill: compact to its own links, then allocate.
+
+    The closure root the parallel-safety certificate covers: this function
+    (and everything it calls) must be write-pure — it reads the shared
+    capacity column and returns fresh arrays, mutating nothing it did not
+    create. ``np.unique`` preserves relative link order, so bottleneck
+    selection and heap tie-breaking match the combined serial fill.
+    """
+    touched = np.unique(indices)
+    sub = np.searchsorted(touched, indices)
+    rates, iterations = maxmin_allocate_indexed(
+        sub, indptr, weights, capacities[touched]
+    )
+    return rates, iterations
+
+
+def _fill_bucket_worker_shm(
+    shm_name: str,
+    out_offset: int,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    capacities: np.ndarray,
+) -> int:
+    """Process-pool variant: scatter rates into the shared output column.
+
+    The slice ``[out_offset, out_offset + n)`` is this worker's disjoint
+    write region — the demand partition *is* the write partition — so no
+    result rides the pickle channel back (zero copy-back); only the
+    iteration count returns.
+    """
+    rates, iterations = _fill_bucket_worker(indices, indptr, weights, capacities)
+    segment = shared_memory.SharedMemory(name=shm_name)
+    try:
+        out = np.ndarray(
+            (out_offset + rates.size,), dtype=np.float64, buffer=segment.buf
+        )
+        out[out_offset : out_offset + rates.size] = rates
+    finally:
+        segment.close()
+    return int(iterations)
+
+
+# -- pool lifecycle ---------------------------------------------------------
+
+_POOLS: Dict[Tuple[str, int], Executor] = {}
+
+
+def _pool(kind: str, workers: int) -> Executor:
+    """The process-global executor for (kind, workers), created lazily."""
+    key = (kind, workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        if kind == "threads":
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="dard-par"
+            )
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[key] = pool
+    return pool
+
+
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter exit
+    while _POOLS:
+        _POOLS.popitem()[1].shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
+
+
+# -- backends ---------------------------------------------------------------
+
+
+class SerialBackend:
+    """The reference executor: combined fills, inline control-plane rounds.
+
+    ``fill`` forwards its arguments to ``maxmin_allocate_indexed``
+    unchanged — byte-for-byte the pre-backend behavior — so the serial
+    backend is not "parallel with one worker" but literally the historical
+    code path, and golden traces cannot drift.
+    """
+
+    kind = "serial"
+
+    def __init__(self) -> None:
+        self.workers = 1
+        self._stats = _zero_stats(self.workers)
+
+    def fill(
+        self,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        weights: np.ndarray,
+        capacities: np.ndarray,
+        roots: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Allocate the combined CSR in one call; ``roots`` is ignored."""
+        return maxmin_allocate_indexed(indices, indptr, weights, capacities)
+
+    def run_tasks(
+        self, fn: Callable[..., Any], payloads: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
+        """Apply ``fn`` to each payload inline, in order."""
+        return [fn(*payload) for payload in payloads]
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot the ``par_*`` telemetry counters (see ``perf_stats``)."""
+        return dict(self._stats)
+
+
+class _PoolBackend(SerialBackend):
+    """Shared fan-out/merge machinery for the threads/processes backends."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.workers = resolve_workers(workers)
+        self._stats = _zero_stats(self.workers)
+
+    def _plan(
+        self,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        roots: Optional[Sequence[int]],
+    ) -> Optional[List[np.ndarray]]:
+        """The round's bucket plan, or None when fanning out can't pay."""
+        if roots is None or self.workers < 2 or indices.size < _MIN_FANOUT_NNZ:
+            return None
+        buckets = partition_demands(roots, indptr, self.workers)
+        if len(buckets) < 2:
+            return None
+        return buckets
+
+    def fill(
+        self,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        weights: np.ndarray,
+        capacities: np.ndarray,
+        roots: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, int]:
+        buckets = self._plan(indices, indptr, roots)
+        if buckets is None:
+            return maxmin_allocate_indexed(indices, indptr, weights, capacities)
+        tasks = [_bucket_csr(indices, indptr, weights, js) for js in buckets]
+        nnz = [task[0].size for task in tasks]
+        # perf_counter feeds par_* telemetry only, never sim state.
+        started = perf_counter()  # dardlint: disable=DET002
+        rates = np.zeros(indptr.size - 1, dtype=np.float64)
+        iterations = self._dispatch(tasks, buckets, capacities, rates)
+        stats = self._stats
+        stats["par_merge_wait_s"] += perf_counter() - started  # dardlint: disable=DET002
+        stats["par_rounds"] += 1
+        stats["par_tasks"] += len(buckets)
+        stats["par_fanout_max"] = max(stats["par_fanout_max"], len(buckets))
+        stats["par_nnz"] += indices.size
+        stats["par_imbalance_max"] = max(
+            stats["par_imbalance_max"], max(nnz) * len(nnz) / max(1, sum(nnz))
+        )
+        return rates, iterations
+
+    def _dispatch(
+        self,
+        tasks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        buckets: List[np.ndarray],
+        capacities: np.ndarray,
+        rates: np.ndarray,
+    ) -> int:
+        raise NotImplementedError
+
+    def run_tasks(
+        self, fn: Callable[..., Any], payloads: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
+        """Fan payloads over the thread pool; gather in submission order.
+
+        Used by the control-plane round (``MonitorRegistry._refresh``):
+        tasks close over live network arrays, so they always run on
+        threads — under the processes backend too (shipping the arrays to
+        another process would cost more than the round; see DESIGN.md).
+        """
+        if self.workers < 2 or len(payloads) < 2:
+            return [fn(*payload) for payload in payloads]
+        pool = _pool("threads", self.workers)
+        futures = [pool.submit(fn, *payload) for payload in payloads]
+        results = [future.result() for future in futures]
+        self._stats["par_cp_rounds"] += 1
+        self._stats["par_cp_chunks"] += len(payloads)
+        return results
+
+
+class ThreadsBackend(_PoolBackend):
+    """GIL-releasing numpy fills on a shared thread pool."""
+
+    kind = "threads"
+
+    def _dispatch(
+        self,
+        tasks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        buckets: List[np.ndarray],
+        capacities: np.ndarray,
+        rates: np.ndarray,
+    ) -> int:
+        pool = _pool("threads", self.workers)
+        futures = [
+            pool.submit(_fill_bucket_worker, bi, bp, bw, capacities)
+            for bi, bp, bw in tasks
+        ]
+        iterations = 0
+        # Submission order == bucket order: the merge is deterministic no
+        # matter which worker finishes first.
+        for js, future in zip(buckets, futures):
+            bucket_rates, bucket_iterations = future.result()
+            rates[js] = bucket_rates
+            iterations += bucket_iterations
+        return iterations
+
+
+class ProcessesBackend(_PoolBackend):
+    """Forked workers writing rates into a shared-memory output column."""
+
+    kind = "processes"
+
+    def _dispatch(
+        self,
+        tasks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        buckets: List[np.ndarray],
+        capacities: np.ndarray,
+        rates: np.ndarray,
+    ) -> int:
+        pool = _pool("processes", self.workers)
+        total = int(sum(js.size for js in buckets))
+        segment = shared_memory.SharedMemory(create=True, size=max(8, total * 8))
+        try:
+            out = np.ndarray((total,), dtype=np.float64, buffer=segment.buf)
+            out[:] = 0.0
+            offsets = np.zeros(len(buckets) + 1, dtype=np.intp)
+            np.cumsum([js.size for js in buckets], out=offsets[1:])
+            futures = []
+            for k, (bi, bp, bw) in enumerate(tasks):
+                # Ship the bucket's own capacity rows, not the full column:
+                # the worker re-derives the same compaction (np.unique is
+                # idempotent over an already-unique ascending id set).
+                touched = np.unique(bi)
+                sub = np.searchsorted(touched, bi)
+                futures.append(
+                    pool.submit(
+                        _fill_bucket_worker_shm,
+                        segment.name,
+                        int(offsets[k]),
+                        sub,
+                        bp,
+                        bw,
+                        capacities[touched],
+                    )
+                )
+            iterations = 0
+            for k, (js, future) in enumerate(zip(buckets, futures)):
+                iterations += future.result()
+                rates[js] = out[offsets[k] : offsets[k + 1]]
+            return iterations
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+def _zero_stats(workers: int) -> Dict[str, float]:
+    return {
+        "par_workers": float(workers),
+        "par_rounds": 0.0,
+        "par_tasks": 0.0,
+        "par_fanout_max": 0.0,
+        "par_nnz": 0.0,
+        "par_imbalance_max": 0.0,
+        "par_merge_wait_s": 0.0,
+        "par_cp_rounds": 0.0,
+        "par_cp_chunks": 0.0,
+    }
+
+
+def make_backend(kind: str, workers: Optional[int] = None) -> SerialBackend:
+    """Construct the backend for ``Network(parallel_backend=kind)``."""
+    if kind == "serial":
+        if workers is not None and int(workers) != 1:
+            raise SimulationError(
+                f"the serial backend is single-worker; got parallel_workers={workers}"
+            )
+        return SerialBackend()
+    if kind == "threads":
+        return ThreadsBackend(workers)
+    if kind == "processes":
+        return ProcessesBackend(workers)
+    raise SimulationError(
+        f"parallel_backend must be one of {PARALLEL_BACKENDS}, got {kind!r}"
+    )

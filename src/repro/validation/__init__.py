@@ -13,7 +13,11 @@ Four layers, composable and individually importable:
   vectorized DARD control plane vs the scalar per-monitor reference
   (same shift journal, bit-identical FCTs), the columnar FlowStore
   settle/ETA/completion passes vs the scalar per-flow reference loops
-  (same bit-exact contract), the fluid simulator vs the packet-level
+  (same bit-exact contract), the component-parallel execution backend
+  vs a serial twin of the same scenario (the deterministic merge
+  contract: records, shift journal, and control accounting identical
+  across backends and worker counts), the fluid simulator vs the
+  packet-level
   TCP micro-simulator inside the documented 0.81-1.02x FCT agreement
   band, and the :class:`StormOracle` that screens every placement and
   reroute against the failed-link set while auditing flow-store row
@@ -47,10 +51,13 @@ from repro.validation.oracles import (
     check_controlplane_equivalence,
     check_incremental_against_full,
     check_network_against_reference,
+    check_parallel_equivalence,
     check_settle_equivalence,
     compare_controlplane_results,
+    compare_parallel_results,
     compare_settle_results,
     controlplane_equivalence_suite,
+    parallel_equivalence_suite,
     run_fluid_vs_packet,
     settle_equivalence_suite,
 )
@@ -96,6 +103,7 @@ __all__ = [
     "check_maxmin_certificate",
     "check_network_against_reference",
     "check_network_allocation",
+    "check_parallel_equivalence",
     "check_settle_equivalence",
     "check_static_forwarding",
     "check_theorem1_bound_live",
@@ -104,10 +112,12 @@ __all__ = [
     "compare_goldens",
     "compare_goldens_incremental",
     "compare_goldens_settle_reference",
+    "compare_parallel_results",
     "compare_settle_results",
     "controlplane_equivalence_suite",
     "inject_capacity_bug",
     "inject_storm_bug",
+    "parallel_equivalence_suite",
     "random_scenario",
     "run_case",
     "run_fluid_vs_packet",

@@ -2,7 +2,8 @@
 
 Draws random scenarios from the full configuration cross-product
 (topology family x size x workload pattern x failure schedule x
-scheduler), runs each with the invariant battery attached to the event
+scheduler x parallel execution backend), runs each with the invariant
+battery attached to the event
 engine and the differential oracles sampling the live network, and — on
 any violation or crash — greedily *shrinks* the scenario to a minimal
 still-failing configuration before reporting it.
@@ -127,6 +128,17 @@ def random_scenario(seed: int) -> ScenarioConfig:
     network_params: dict = {}
     if rng.random() < 0.2:
         network_params = {"elephant_detector": "predictive"}
+    # Parallel execution backend: half the cases stay on the historical
+    # serial path, the rest exercise the component-parallel backends so
+    # the deterministic-merge contract is fuzzed continuously — any
+    # parallel case is dual-run against a serial twin by run_case.
+    backend_roll = rng.random()
+    if backend_roll < 0.4:
+        network_params["parallel_backend"] = "threads"
+    elif backend_roll < 0.5:
+        network_params["parallel_backend"] = "processes"
+    if "parallel_backend" in network_params:
+        network_params["parallel_workers"] = (2, 3, 4, 7)[int(rng.integers(4))]
     return ScenarioConfig(
         topology=kind,
         topology_params=topo_params,
@@ -210,6 +222,12 @@ def run_case(
     (``settle_mode="reference"``) and compared record for record against
     the columnar FlowStore run under the same bit-exact contract.
 
+    Cases drawn with a parallel execution backend (threads/processes)
+    additionally run the parallel differential oracle: the scenario is
+    re-run on the serial backend and the two results must be identical —
+    the deterministic merge contract makes worker scheduling invisible,
+    so any divergence is a finding.
+
     Finally a :class:`~repro.validation.oracles.StormOracle` shadows the
     primary run: every placement and reroute is screened against the
     failed-link set, and flow-store row accounting is re-audited at each
@@ -220,9 +238,11 @@ def run_case(
     from repro.validation.invariants import InvariantChecker, check_flowstore_balance
     from repro.validation.oracles import (
         StormOracle,
+        _with_backend,
         check_incremental_against_full,
         check_network_against_reference,
         compare_controlplane_results,
+        compare_parallel_results,
         compare_settle_results,
     )
 
@@ -290,6 +310,11 @@ def run_case(
             instrument=corrupt,
         )
         compare_settle_results(result, reference)
+    if config.network_params.get("parallel_backend", "serial") != "serial":
+        # Same world for the serial twin — including any injected bug —
+        # so this oracle only ever fires on merge-contract divergence.
+        serial_twin = run_scenario(_with_backend(config, "serial"), instrument=corrupt)
+        compare_parallel_results(result, serial_twin)
     return result
 
 
@@ -430,6 +455,7 @@ def run_fuzz(
     shrink_failures: int = 3,
     progress: Optional[Callable[[str], None]] = None,
     sanitize: bool = False,
+    force_backend: Optional[str] = None,
 ) -> FuzzReport:
     """Sweep seeds (and/or a wall-clock budget) through the validation battery.
 
@@ -437,6 +463,11 @@ def run_fuzz(
     elapsed, whichever comes first (at least one case always runs). The
     first ``shrink_failures`` failures are shrunk to minimal reproducing
     configs; later ones are reported as-is.
+
+    ``force_backend`` pins every case to one parallel execution backend
+    instead of the generator's weighted draw (the nightly CI sweep pins
+    ``threads`` so every seed dual-runs the merge-contract oracle); the
+    worker count still varies deterministically with the seed.
     """
     if seeds is None and budget_s is None:
         seeds = 100
@@ -456,6 +487,13 @@ def run_fuzz(
         ):
             break
         config = random_scenario(seed)
+        if force_backend is not None:
+            params = {**config.network_params, "parallel_backend": force_backend}
+            if force_backend == "serial":
+                params.pop("parallel_workers", None)
+            elif "parallel_workers" not in params:
+                params["parallel_workers"] = (2, 3, 4, 7)[seed % 4]
+            config = dataclasses.replace(config, network_params=params)
         error = _case_fails(config, corrupt, every_n_events, sanitize)
         report.cases += 1
         if error is not None:

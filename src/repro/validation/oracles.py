@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import OracleViolation
 from repro.common.units import MB, MBPS
@@ -429,6 +429,143 @@ def settle_equivalence_suite() -> List[dict]:
     for config in scenarios:
         summary = check_settle_equivalence(config)
         summary["scheduler"] = config.scheduler
+        summary["pattern"] = config.pattern
+        rows.append(summary)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Parallel equivalence (component-parallel backend vs serial)
+# ---------------------------------------------------------------------------
+
+def compare_parallel_results(parallel, serial) -> None:
+    """Raise unless a parallel-backend run and a serial run are identical.
+
+    The deterministic merge contract (``repro.simulator.parallel``) makes
+    the backend a pure execution-strategy change: partition the dirty
+    demands by flow-link component, water-fill each bucket on a worker,
+    merge rates back positionally in submission order. Nothing downstream
+    may observe the difference, so the contract is exact: every completed
+    flow's record bit for bit, any DARD shift journal tuple for tuple,
+    and control accounting exactly. Only ``filling_iterations`` telemetry
+    may differ (a bucketed fill sums per-bucket iteration counts), which
+    is why this oracle compares behavior, not ``perf_stats``.
+    """
+    if parallel.dard_shift_log != serial.dard_shift_log:
+        ours, theirs = parallel.dard_shift_log, serial.dard_shift_log
+        for k, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                raise OracleViolation(
+                    "parallel-equivalence",
+                    f"shift {k} diverges: parallel {a!r} != serial {b!r}",
+                    subject=k,
+                )
+        raise OracleViolation(
+            "parallel-equivalence",
+            f"shift journal length {len(ours)} (parallel) != "
+            f"{len(theirs)} (serial)",
+        )
+    if len(parallel.records) != len(serial.records):
+        raise OracleViolation(
+            "parallel-equivalence",
+            f"{len(parallel.records)} completed flows (parallel) != "
+            f"{len(serial.records)} (serial)",
+        )
+    for ours, theirs in zip(parallel.records, serial.records):
+        if ours != theirs:
+            raise OracleViolation(
+                "parallel-equivalence",
+                f"flow {ours.flow_id}: parallel record {ours!r} != "
+                f"serial {theirs!r} (bit-exact contract)",
+                subject=ours.flow_id,
+            )
+    if parallel.control_bytes != serial.control_bytes:
+        raise OracleViolation(
+            "parallel-equivalence",
+            f"control bytes {parallel.control_bytes!r} (parallel) != "
+            f"{serial.control_bytes!r} (serial)",
+        )
+
+
+def _with_backend(config, backend: str, workers: Optional[int] = None):
+    """A copy of ``config`` pinned to the given parallel backend.
+
+    The serial twin strips the worker count too — ``serial`` rejects any
+    explicit worker count other than 1, and the twin must be exactly the
+    historical single-threaded configuration.
+    """
+    import dataclasses
+
+    params = dict(config.network_params)
+    params["parallel_backend"] = backend
+    if workers is None:
+        params.pop("parallel_workers", None)
+    else:
+        params["parallel_workers"] = workers
+    return dataclasses.replace(config, network_params=params)
+
+
+def check_parallel_equivalence(
+    config, backend: str = "threads", workers: Optional[int] = None
+) -> dict:
+    """Run one scenario on a parallel backend and serially; raise on any
+    divergence. Returns a small summary dict (flows, shifts) for reporting.
+    """
+    from repro.experiments.runner import run_scenario
+
+    parallel = run_scenario(_with_backend(config, backend, workers))
+    serial = run_scenario(_with_backend(config, "serial"))
+    compare_parallel_results(parallel, serial)
+    return {
+        "flows": len(parallel.records),
+        "shifts": parallel.dard_shifts,
+    }
+
+
+def _parallel_oracle_scenarios() -> List[Tuple[str, Optional[int], Any]]:
+    """``(backend, workers, config)`` rows the suite and CI smoke share.
+
+    The p=8 incast-barrier + failure-storm case is the load-bearing one:
+    barrier arrivals create multi-component rounds big enough to cross the
+    fan-out threshold (``_MIN_FANOUT_NNZ``), so worker buckets actually
+    form and the merge path is exercised rather than trivially bypassed.
+    """
+    from repro.experiments.runner import ScenarioConfig
+    from repro.validation.snapshot import GOLDEN_SCENARIOS
+
+    barrier_storm = ScenarioConfig(
+        topology="fattree",
+        topology_params={"p": 8, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        scheduler="dard",
+        arrival_rate_per_host=0.05,
+        duration_s=6.0,
+        flow_size_bytes=32 * MB,
+        seed=3,
+        arrival="incast-barrier",
+        arrival_params={"period_s": 1.0},
+        link_events=(
+            ("fail", 2.5, "agg_0_0", "core_0_0"),
+            ("restore", 4.0, "agg_0_0", "core_0_0"),
+        ),
+    )
+    return [
+        ("threads", 4, barrier_storm),
+        ("threads", 7, barrier_storm),
+        ("processes", 2, barrier_storm),
+        ("threads", 4, GOLDEN_SCENARIOS["fattree_dard_random"]),
+    ]
+
+
+def parallel_equivalence_suite() -> List[dict]:
+    """The parallel-vs-serial oracle over a fan-out-active barrier+storm
+    case (threads x4/x7, processes x2) plus the golden DARD scenario;
+    returns one summary row per (backend, workers, scenario)."""
+    rows = []
+    for backend, workers, config in _parallel_oracle_scenarios():
+        summary = check_parallel_equivalence(config, backend, workers)
+        summary["backend"] = backend
+        summary["workers"] = workers
         summary["pattern"] = config.pattern
         rows.append(summary)
     return rows

@@ -1,0 +1,310 @@
+"""The intra-scenario parallel backend and its deterministic merge.
+
+Three layers:
+
+* unit tests over the pure pieces — ``resolve_workers``,
+  ``partition_demands`` (component cohesion, coverage, balance,
+  determinism), ``make_backend`` / ``Network`` constructor validation;
+* allocator-level partition invariance — a bucketed fill must reproduce
+  the combined serial fill bit for bit, including the tie-rich regime
+  where the progressive-filling tail freezes exact tie batches (the
+  regression that originally broke cross-bucket symmetry);
+* scenario-level bit-identity under adversarial component shapes — a
+  giant incast component, all-singleton stride steady state, and
+  storm-driven churn, across backends and worker counts 1/2/7, with the
+  fan-out threshold lowered so small scenarios actually exercise the
+  merge path (asserted via ``par_rounds``).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.core.registry as registry_module
+import repro.simulator.parallel as parallel_module
+from repro.common.errors import SimulationError
+from repro.common.units import MB, MBPS
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.simulator import Network
+from repro.simulator.maxmin import maxmin_allocate_indexed
+from repro.simulator.parallel import (
+    PARALLEL_BACKENDS,
+    SerialBackend,
+    ThreadsBackend,
+    _fill_bucket_worker,
+    make_backend,
+    partition_demands,
+    resolve_workers,
+)
+from repro.topology import FatTree
+
+
+class TestResolveWorkers:
+    def test_explicit_request_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_or_negative_raises(self):
+        with pytest.raises(SimulationError):
+            resolve_workers(0)
+        with pytest.raises(SimulationError):
+            resolve_workers(-2)
+
+    def test_default_is_at_least_one(self):
+        assert resolve_workers(None) >= 1
+
+
+class TestPartitionDemands:
+    def _plan(self, roots, lens, max_buckets):
+        indptr = np.zeros(len(lens) + 1, dtype=np.intp)
+        np.cumsum(lens, out=indptr[1:])
+        return partition_demands(roots, indptr, max_buckets)
+
+    def test_component_cohesion_and_coverage(self):
+        roots = [5, 9, 5, 2, 9, 2, 2]
+        buckets = self._plan(roots, [3, 1, 2, 4, 1, 1, 2], 3)
+        seen = np.concatenate(buckets)
+        assert sorted(seen.tolist()) == list(range(len(roots)))
+        for bucket in buckets:
+            assert bucket.tolist() == sorted(bucket.tolist())
+        placed = {}
+        for b, bucket in enumerate(buckets):
+            for j in bucket.tolist():
+                assert roots[j] not in placed or placed[roots[j]] == b
+                placed[roots[j]] = b
+
+    def test_all_singletons_spread_across_buckets(self):
+        roots = list(range(8))
+        buckets = self._plan(roots, [2] * 8, 4)
+        assert len(buckets) == 4
+        assert all(bucket.size == 2 for bucket in buckets)
+
+    def test_single_giant_component_is_one_bucket(self):
+        buckets = self._plan([7] * 6, [3] * 6, 4)
+        assert len(buckets) == 1
+        assert buckets[0].tolist() == list(range(6))
+
+    def test_largest_first_balance(self):
+        # One heavy component (nnz 10) and four light ones (nnz 2): the
+        # heavy group fills one bucket and the light ones share the other.
+        roots = [1, 1, 2, 3, 4, 5]
+        buckets = self._plan(roots, [5, 5, 2, 2, 2, 2], 2)
+        assert [b.tolist() for b in buckets] == [[0, 1], [2, 3, 4, 5]]
+
+    def test_pure_function_of_inputs(self):
+        roots = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        lens = [2, 3, 1, 2, 4, 1, 2, 3, 1, 2]
+        first = self._plan(roots, lens, 3)
+        second = self._plan(roots, lens, 3)
+        assert [a.tolist() for a in first] == [b.tolist() for b in second]
+
+
+class TestBackendConstruction:
+    def test_make_backend_kinds(self):
+        assert make_backend("serial").kind == "serial"
+        assert make_backend("threads", 3).workers == 3
+        assert make_backend("processes", 2).kind == "processes"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SimulationError):
+            make_backend("gpu")
+
+    def test_serial_rejects_extra_workers(self):
+        with pytest.raises(SimulationError):
+            make_backend("serial", 4)
+
+    def test_network_validates_backend(self):
+        topo = FatTree(p=4, link_bandwidth_bps=100 * MBPS)
+        with pytest.raises(SimulationError):
+            Network(topo, parallel_backend="fibers")
+        with pytest.raises(SimulationError):
+            Network(topo, parallel_backend="serial", parallel_workers=2)
+        net = Network(topo, parallel_backend="threads", parallel_workers=2)
+        assert net.parallel.kind == "threads"
+        assert net.parallel.workers == 2
+
+
+def _replicated_csr(components=6, demands_per=9, links_per=3):
+    """``components`` identical single-component CSRs over disjoint links.
+
+    Identical structure means every component produces the same share
+    sequence, so the combined fill is saturated with *exact* cross-
+    component ties — the regime where the progressive tail's tie
+    handling must stay batch-exact for bucketed fills to reproduce it.
+    """
+    indices, indptr, weights = [], [0], []
+    for c in range(components):
+        base = c * links_per
+        for j in range(demands_per):
+            links = sorted({base + j % links_per, base + (j + 1) % links_per})
+            indices.extend(links)
+            indptr.append(indptr[-1] + len(links))
+            weights.append(1.0 + (j % 3))
+    capacities = np.full(components * links_per, 100e6)
+    roots = [j // demands_per for j in range(components * demands_per)]
+    return (
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(indptr, dtype=np.intp),
+        np.asarray(weights, dtype=np.float64),
+        capacities,
+        roots,
+    )
+
+
+class TestPartitionInvariance:
+    """Bucketed fills reproduce the combined fill bit for bit."""
+
+    @pytest.mark.parametrize("max_buckets", [2, 3, 4, 7])
+    def test_symmetric_tie_batches(self, max_buckets):
+        indices, indptr, weights, capacities, roots = _replicated_csr()
+        combined, _ = maxmin_allocate_indexed(indices, indptr, weights, capacities)
+        rates = np.zeros(indptr.size - 1)
+        for js in partition_demands(roots, indptr, max_buckets):
+            ids = [indices[indptr[j] : indptr[j + 1]] for j in js.tolist()]
+            sub_indptr = np.zeros(js.size + 1, dtype=np.intp)
+            np.cumsum([c.size for c in ids], out=sub_indptr[1:])
+            bucket_rates, _ = _fill_bucket_worker(
+                np.concatenate(ids), sub_indptr, weights[js], capacities
+            )
+            rates[js] = bucket_rates
+        np.testing.assert_array_equal(rates, combined)
+
+    @pytest.mark.parametrize("workers", [2, 4, 7])
+    def test_threads_fill_matches_serial(self, workers, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_MIN_FANOUT_NNZ", 8)
+        indices, indptr, weights, capacities, roots = _replicated_csr(
+            components=8, demands_per=12
+        )
+        serial, _ = maxmin_allocate_indexed(indices, indptr, weights, capacities)
+        backend = ThreadsBackend(workers)
+        parallel, _ = backend.fill(indices, indptr, weights, capacities, roots)
+        np.testing.assert_array_equal(parallel, serial)
+        assert backend.stats()["par_rounds"] == 1.0
+
+    def test_below_threshold_uses_combined_fill(self):
+        indices, indptr, weights, capacities, roots = _replicated_csr(
+            components=2, demands_per=3
+        )
+        backend = ThreadsBackend(4)
+        rates, _ = backend.fill(indices, indptr, weights, capacities, roots)
+        serial, _ = maxmin_allocate_indexed(indices, indptr, weights, capacities)
+        np.testing.assert_array_equal(rates, serial)
+        assert backend.stats()["par_rounds"] == 0.0
+
+
+def _config(**overrides):
+    base = dict(
+        topology="fattree",
+        topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+        pattern="stride",
+        scheduler="dard",
+        arrival_rate_per_host=0.1,
+        duration_s=5.0,
+        flow_size_bytes=16 * MB,
+        seed=5,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+STORM = (
+    ("fail", 1.0, "agg_0_0", "core_0_0"),
+    ("restore", 2.0, "agg_0_0", "core_0_0"),
+    ("fail", 3.0, "agg_0_0", "core_0_0"),
+    ("restore", 4.0, "agg_0_0", "core_0_0"),
+)
+
+
+def _fingerprint(result):
+    return (
+        tuple(
+            (r.flow_id, r.src, r.dst, r.start_time, r.end_time, r.path_switches)
+            for r in result.records
+        ),
+        result.dard_shift_log,
+        result.control_bytes,
+    )
+
+
+def _run(config, backend, workers=None):
+    params = {**config.network_params, "parallel_backend": backend}
+    if workers is not None:
+        params["parallel_workers"] = workers
+    nets = []
+    result = run_scenario(
+        dataclasses.replace(config, network_params=params),
+        instrument=nets.append,
+    )
+    return result, nets[0]
+
+
+class TestScenarioBitIdentity:
+    """Adversarial component shapes, all backends, worker counts 1/2/7."""
+
+    @pytest.fixture(autouse=True)
+    def _small_fanout(self, monkeypatch):
+        # Lower the structural threshold so p=4 scenarios exercise the
+        # fan-out + merge path instead of trivially bypassing it.
+        monkeypatch.setattr(parallel_module, "_MIN_FANOUT_NNZ", 8)
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_storm_churn_threads(self, workers):
+        config = _config(link_events=STORM)
+        serial, _ = _run(config, "serial")
+        threaded, net = _run(config, "threads", workers)
+        assert _fingerprint(threaded) == _fingerprint(serial)
+        if workers > 1:
+            assert net.perf_stats()["par_rounds"] > 0
+
+    def test_giant_incast_component(self):
+        config = _config(pattern="incast", arrival_rate_per_host=0.15)
+        serial, _ = _run(config, "serial")
+        threaded, _ = _run(config, "threads", 4)
+        assert _fingerprint(threaded) == _fingerprint(serial)
+
+    def test_singleton_stride_steady_state(self):
+        # Barrier arrivals dirty many singleton components in one
+        # coalesced round — otherwise each round touches one component
+        # and there is nothing to fan out.
+        config = _config(
+            scheduler="ecmp",
+            arrival_rate_per_host=0.2,
+            arrival="incast-barrier",
+            arrival_params={"period_s": 0.5},
+        )
+        serial, _ = _run(config, "serial")
+        threaded, net = _run(config, "threads", 4)
+        assert _fingerprint(threaded) == _fingerprint(serial)
+        assert net.perf_stats()["par_rounds"] > 0
+
+    def test_processes_backend(self):
+        config = _config(link_events=STORM[:2], duration_s=4.0)
+        serial, _ = _run(config, "serial")
+        processed, net = _run(config, "processes", 2)
+        assert _fingerprint(processed) == _fingerprint(serial)
+        assert net.perf_stats()["par_workers"] == 2.0
+
+    def test_controlplane_chunking(self, monkeypatch):
+        monkeypatch.setattr(registry_module, "MIN_CP_FANOUT_ROWS", 1)
+        # Flows must live long enough to promote to elephants, or the
+        # registry never registers a monitor row and nothing is chunked.
+        config = _config(duration_s=10.0, flow_size_bytes=48 * MB, seed=7)
+        serial, _ = _run(config, "serial")
+        threaded, net = _run(config, "threads", 2)
+        assert _fingerprint(threaded) == _fingerprint(serial)
+        assert net.perf_stats()["par_cp_rounds"] > 0
+
+
+class TestSerialBackendIsInert:
+    def test_stats_shape(self):
+        backend = SerialBackend()
+        stats = backend.stats()
+        assert stats["par_workers"] == 1.0
+        assert all(v == 0.0 for k, v in stats.items() if k != "par_workers")
+
+    def test_run_tasks_inline_in_order(self):
+        backend = SerialBackend()
+        assert backend.run_tasks(lambda x: x * x, [(2,), (3,), (4,)]) == [4, 9, 16]
+
+    def test_backends_tuple(self):
+        assert PARALLEL_BACKENDS == ("serial", "threads", "processes")

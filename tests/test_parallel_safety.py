@@ -9,7 +9,9 @@ Three layers:
   writer name is audited against the real classes (AST scan plus
   ``FlowStore.__slots__``), so the table cannot silently rot;
 * certification — the committed ``parallel_safety_baseline.json`` is a
-  floor on ``proven_pure`` and both component-scoped roots must hold.
+  floor on ``proven_pure``, and the component-scoped roots (refill,
+  daemon round, and the parallel backend's worker entry points) must
+  hold.
 """
 
 import ast
@@ -291,6 +293,9 @@ class TestCertificate:
         for root in (
             "repro.simulator.network.Network._refill_dirty",
             "repro.core.daemon.HostDaemon._schedule_one_arrays",
+            "repro.simulator.parallel._fill_bucket_worker",
+            "repro.simulator.parallel._fill_bucket_worker_shm",
+            "repro.simulator.network.Network.batch_path_state_arrays",
         ):
             assert root in document["proven_pure"], root
 

@@ -6,6 +6,43 @@ from repro.common.units import MB, MBPS
 from repro.simulator import FlowComponent, Network
 from repro.topology import FatTree
 
+#: The complete ``perf_stats()`` surface, asserted in one place so the
+#: docstring, the stats dict, and every ``stats.update(...)`` source
+#: (flow store, parallel backend, detector, control-plane providers)
+#: cannot drift apart silently again.
+NETWORK_KEYS = {
+    "realloc_calls", "realloc_requests", "realloc_coalesced", "realloc_sync",
+    "realloc_demands", "filling_iterations", "realloc_time_s",
+    "flows_started", "flows_completed", "reroutes", "num_links",
+    "realloc_full", "realloc_incremental", "realloc_subset",
+    "components_touched", "components_live", "component_rebuilds",
+    "flows_rerated", "flows_preserved",
+    "events_rescheduled", "events_preserved",
+    "settle_time_s", "eta_time_s", "settle_batches",
+}
+STORE_KEYS = {
+    "store_acquires", "store_capacity", "store_compactions", "store_grows",
+    "store_live", "store_revivals", "store_rows",
+}
+PAR_KEYS = {
+    "par_workers", "par_rounds", "par_tasks", "par_fanout_max", "par_nnz",
+    "par_imbalance_max", "par_merge_wait_s", "par_cp_rounds", "par_cp_chunks",
+}
+DET_KEYS = {
+    "det_predictive", "det_flows_seen", "det_samples",
+    "det_early_promotions", "det_fallback_promotions",
+    "det_mean_detection_age_s",
+}
+CP_KEYS = {
+    "cp_vectorized", "cp_daemons", "cp_monitors_live", "cp_query_rounds",
+    "cp_query_time_s", "cp_round_time_s", "cp_vector_rounds",
+    "cp_scalar_rounds", "cp_shift_tails", "cp_shifts",
+    "cp_registry_pairs", "cp_registry_rows", "cp_registry_queries",
+    "cp_registry_cache_hits", "cp_registry_refreshes",
+    "cp_registry_rows_refreshed", "cp_registry_rebuilds",
+    "cp_registry_registrations",
+}
+
 
 @pytest.fixture
 def topo():
@@ -78,3 +115,48 @@ class TestPerfStats:
         assert stats["realloc_calls"] == 0
         assert stats["realloc_time_s"] == 0.0
         assert stats["flows_started"] == 0
+
+
+class TestKeyInventory:
+    """The exact ``perf_stats()`` key surface, per configuration."""
+
+    def test_base_network(self, topo):
+        keys = set(Network(topo).perf_stats())
+        assert keys == NETWORK_KEYS | STORE_KEYS | PAR_KEYS
+
+    def test_predictive_detector_adds_det_keys(self, topo):
+        net = Network(topo, elephant_detector="predictive")
+        assert set(net.perf_stats()) == NETWORK_KEYS | STORE_KEYS | PAR_KEYS | DET_KEYS
+
+    def test_parallel_backend_keeps_the_same_surface(self, topo):
+        net = Network(topo, parallel_backend="threads", parallel_workers=2)
+        stats = net.perf_stats()
+        assert set(stats) == NETWORK_KEYS | STORE_KEYS | PAR_KEYS
+        assert stats["par_workers"] == 2.0
+
+    def test_serial_par_keys_are_zero_except_workers(self, topo):
+        stats = Network(topo).perf_stats()
+        assert stats["par_workers"] == 1.0
+        for key in PAR_KEYS - {"par_workers"}:
+            assert stats[key] == 0.0, key
+
+    def test_dard_scenario_adds_cp_keys(self):
+        from repro.experiments.runner import ScenarioConfig, run_scenario
+
+        captured = []
+        run_scenario(
+            ScenarioConfig(
+                topology="fattree",
+                topology_params={"p": 4, "link_bandwidth_bps": 100 * MBPS},
+                pattern="stride",
+                scheduler="dard",
+                arrival_rate_per_host=0.1,
+                duration_s=4.0,
+                flow_size_bytes=8 * MB,
+                seed=11,
+            ),
+            instrument=captured.append,
+        )
+        assert set(captured[0].perf_stats()) == (
+            NETWORK_KEYS | STORE_KEYS | PAR_KEYS | CP_KEYS
+        )
